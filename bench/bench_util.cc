@@ -1,0 +1,114 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/registry.h"
+
+namespace sgcl::bench {
+
+BenchScale ParseArgs(int argc, char** argv, std::string* only_filter) {
+  BenchScale scale;
+  only_filter->clear();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mode=paper") {
+      scale.paper = true;
+      scale.tu_target_graphs = 1 << 30;
+      scale.tu_node_cap = 1e9;
+      scale.zinc_graphs = 20000;
+      scale.mol_graph_fraction = 1.0;
+      scale.mol_max_graphs = 100000;
+      scale.hidden_dim = 32;
+      scale.num_layers = 3;
+      scale.pretrain_epochs = 40;
+      scale.finetune_epochs = 30;
+      scale.batch_size = 128;
+      scale.seeds = 5;
+      scale.cv_folds = 10;
+    } else if (arg == "--mode=ci") {
+      // defaults
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      scale.seeds = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      *only_filter = arg.substr(7);
+    } else if (arg.rfind("--benchmark", 0) == 0) {
+      // google-benchmark flags pass through
+    } else {
+      std::fprintf(stderr,
+                   "unknown arg %s (use --mode=ci|paper --seeds=N "
+                   "--only=SUBSTR)\n",
+                   arg.c_str());
+    }
+  }
+  return scale;
+}
+
+bool Selected(const std::string& name, const std::string& only_filter) {
+  return only_filter.empty() || name.find(only_filter) != std::string::npos;
+}
+
+GraphDataset MakeTu(TuDataset which, const BenchScale& scale, uint64_t seed) {
+  SyntheticTuOptions opt;
+  const int paper_graphs = GetTuConfig(which).num_graphs;
+  opt.graph_fraction = std::min(
+      1.0, static_cast<double>(scale.tu_target_graphs) / paper_graphs);
+  opt.node_cap = scale.tu_node_cap;
+  opt.seed = seed;
+  return MakeTuDataset(which, opt);
+}
+
+GraphDataset MakeMol(MolTask task, const BenchScale& scale, uint64_t seed) {
+  MolDatasetOptions opt;
+  opt.graph_fraction = scale.mol_graph_fraction;
+  opt.max_graphs = scale.mol_max_graphs;
+  opt.seed = seed;
+  return MakeMolTaskDataset(task, opt);
+}
+
+SgclConfig ScaledSgclConfig(int64_t feat_dim, const BenchScale& scale) {
+  SgclConfig cfg = MakeUnsupervisedConfig(feat_dim);
+  cfg.encoder.hidden_dim = scale.hidden_dim;
+  cfg.encoder.num_layers = scale.num_layers;
+  cfg.proj_dim = scale.hidden_dim;
+  cfg.epochs = scale.pretrain_epochs;
+  cfg.batch_size = scale.batch_size;
+  return cfg;
+}
+
+BaselineConfig ScaledBaselineConfig(int64_t feat_dim, const BenchScale& scale,
+                                    uint64_t seed) {
+  BaselineConfig cfg;
+  cfg.encoder.arch = GnnArch::kGin;
+  cfg.encoder.in_dim = feat_dim;
+  cfg.encoder.hidden_dim = scale.hidden_dim;
+  cfg.encoder.num_layers = scale.num_layers;
+  cfg.epochs = scale.pretrain_epochs;
+  cfg.batch_size = scale.batch_size;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<std::string> UnsupervisedMethodNames() {
+  return {"InfoGraph", "GraphCL", "JOAOv2", "AD-GCL",
+          "SimGRACE",  "RGCL",    "AutoGCL", "SGCL"};
+}
+
+std::vector<std::string> TransferMethodNames() {
+  return {"No Pre-Train", "AttrMasking", "ContextPred", "GraphCL", "JOAOv2",
+          "AD-GCL",       "RGCL",        "AutoGCL",     "SGCL"};
+}
+
+std::unique_ptr<Pretrainer> MakeMethod(const std::string& name,
+                                       int64_t feat_dim,
+                                       const BenchScale& scale,
+                                       uint64_t seed) {
+  auto method = MakePretrainer(name, ScaledBaselineConfig(feat_dim, scale,
+                                                          seed),
+                               ScaledSgclConfig(feat_dim, scale), seed);
+  SGCL_CHECK(method.ok());
+  return std::move(*method);
+}
+
+}  // namespace sgcl::bench

@@ -1,0 +1,112 @@
+// Microbenchmarks for the paper's §V complexity analysis: the exact
+// masked-re-encoding Lipschitz generator is O(|V|) encoder passes per
+// graph, while the attention approximation is a single pass. Also times
+// the Lipschitz graph augmentation and one full SGCL training step.
+#include <benchmark/benchmark.h>
+
+#include "core/augmentation.h"
+#include "core/lipschitz_generator.h"
+#include "core/sgcl_model.h"
+#include "data/synthetic_tu.h"
+
+namespace sgcl {
+namespace {
+
+Graph MakeBenchGraph(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n, 8);
+  for (int64_t v = 0; v < n; ++v) {
+    g.set_feature(v, rng.UniformInt(8), 1.0f);
+    if (v > 0) g.AddUndirectedEdge(v, rng.UniformInt(v));
+  }
+  // Extra edges to ~2x tree density.
+  for (int64_t e = 0; e < n; ++e) {
+    const int64_t a = rng.UniformInt(n), b = rng.UniformInt(n);
+    if (a != b) g.AddUndirectedEdge(a, b);
+  }
+  return g;
+}
+
+EncoderConfig BenchEncoderConfig() {
+  EncoderConfig cfg;
+  cfg.arch = GnnArch::kGin;
+  cfg.in_dim = 8;
+  cfg.hidden_dim = 32;
+  cfg.num_layers = 3;
+  return cfg;
+}
+
+void BM_LipschitzExact(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  GnnEncoder encoder(BenchEncoderConfig(), &rng);
+  LipschitzGenerator gen(&encoder, LipschitzMode::kExact);
+  Graph g = MakeBenchGraph(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.ComputeConstants(g));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LipschitzExact)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_LipschitzApprox(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  GnnEncoder encoder(BenchEncoderConfig(), &rng);
+  LipschitzGenerator gen(&encoder, LipschitzMode::kAttentionApprox);
+  Graph g = MakeBenchGraph(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.ComputeConstants(g));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LipschitzApprox)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Complexity();
+
+void BM_AugmentationPlan(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  std::vector<float> k(n), keep(n);
+  for (int64_t v = 0; v < n; ++v) {
+    k[v] = static_cast<float>(rng.Uniform());
+    keep[v] = static_cast<float>(rng.Uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildAugmentationPlan(
+        k, keep, AugmentationMode::kLipschitz, 0.9, &rng));
+  }
+}
+BENCHMARK(BM_AugmentationPlan)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_SgclTrainingStep(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  SyntheticTuOptions opt;
+  opt.graph_fraction = 0.05;
+  opt.node_cap = 25;
+  opt.seed = 4;
+  GraphDataset ds = MakeTuDataset(TuDataset::kMutag, opt);
+  SgclConfig cfg = MakeUnsupervisedConfig(ds.feat_dim());
+  Rng rng(5);
+  SgclModel model(cfg, &rng);
+  std::vector<const Graph*> graphs;
+  for (int i = 0; i < batch; ++i) {
+    graphs.push_back(&ds.graph(i % ds.size()));
+  }
+  for (auto _ : state) {
+    Tensor loss = model.ComputeLoss(graphs, &rng);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+    for (Tensor& p : model.Parameters()) p.ZeroGrad();
+  }
+}
+BENCHMARK(BM_SgclTrainingStep)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace sgcl
+
+BENCHMARK_MAIN();

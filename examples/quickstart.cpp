@@ -1,0 +1,78 @@
+// Quickstart: pretrain SGCL on a synthetic MUTAG-like dataset, evaluate
+// the frozen embeddings with an SVM, and inspect per-node Lipschitz
+// constants against the planted ground-truth motif.
+//
+//   ./quickstart [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+#include "core/sgcl_trainer.h"
+#include "data/synthetic_tu.h"
+#include "eval/cross_validation.h"
+
+using namespace sgcl;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  // 1. Data: a scaled-down synthetic MUTAG with planted semantic motifs.
+  SyntheticTuOptions data_opt;
+  data_opt.graph_fraction = 0.6;
+  data_opt.node_cap = 20;
+  data_opt.seed = seed;
+  GraphDataset dataset = MakeTuDataset(TuDataset::kMutag, data_opt);
+  DatasetStats stats = dataset.Stats();
+  std::printf("dataset %s: %lld graphs, %.1f avg nodes, %.1f avg edges\n",
+              dataset.name().c_str(),
+              static_cast<long long>(stats.num_graphs), stats.avg_nodes,
+              stats.avg_edges);
+
+  // 2. Pretrain SGCL (paper defaults, scaled for CPU).
+  SgclConfig config = MakeUnsupervisedConfig(dataset.feat_dim());
+  config.encoder.hidden_dim = 32;
+  config.encoder.num_layers = 3;
+  config.epochs = 15;
+  config.batch_size = 16;
+  Stopwatch watch;
+  SgclTrainer trainer(config, seed);
+  PretrainStats pretrain = trainer.Pretrain(dataset);
+  std::printf("pretrained %d epochs in %.1fs (loss %.3f -> %.3f)\n",
+              config.epochs, watch.ElapsedSeconds(),
+              pretrain.epoch_losses.front(), pretrain.epoch_losses.back());
+
+  // 3. Downstream: 10-fold SVM on the frozen embeddings.
+  std::vector<const Graph*> all;
+  for (int64_t i = 0; i < dataset.size(); ++i) all.push_back(&dataset.graph(i));
+  Tensor emb = trainer.model().EmbedGraphs(all);
+  Rng rng(seed);
+  MeanStd cv = SvmCrossValidate(emb.values(), emb.rows(), emb.cols(),
+                                dataset.Labels(), dataset.num_classes(),
+                                /*folds=*/10, &rng);
+  std::printf("10-fold SVM accuracy: %.2f%% ± %.2f%%\n", 100.0 * cv.mean,
+              100.0 * cv.std);
+
+  // 4. Semantic analysis: do motif nodes get larger Lipschitz constants?
+  const Graph& g = dataset.graph(0);
+  std::vector<float> k = trainer.model().NodeLipschitzConstants(g);
+  double motif_mean = 0.0, background_mean = 0.0;
+  int motif_n = 0, background_n = 0;
+  std::printf("graph 0 Lipschitz constants (S = planted semantic node):\n");
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    const bool semantic = g.semantic_mask()[v] != 0;
+    std::printf("  node %2lld %c K = %.4f\n", static_cast<long long>(v),
+                semantic ? 'S' : ' ', k[v]);
+    if (semantic) {
+      motif_mean += k[v];
+      ++motif_n;
+    } else {
+      background_mean += k[v];
+      ++background_n;
+    }
+  }
+  if (motif_n > 0 && background_n > 0) {
+    std::printf("mean K: motif %.4f vs background %.4f\n",
+                motif_mean / motif_n, background_mean / background_n);
+  }
+  return 0;
+}

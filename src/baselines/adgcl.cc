@@ -1,0 +1,81 @@
+#include "baselines/adgcl.h"
+
+#include "core/contrastive_loss.h"
+#include "tensor/graph_ops.h"
+#include "tensor/ops.h"
+
+namespace sgcl {
+
+AdGclBaseline::AdGclBaseline(const BaselineConfig& config,
+                             float retention_weight)
+    : GclPretrainerBase(config, "AD-GCL"),
+      retention_weight_(retention_weight) {
+  EncoderConfig aug_cfg = config_.encoder;
+  aug_cfg.num_layers = 2;
+  augmenter_gnn_ = std::make_unique<GnnEncoder>(aug_cfg, &rng_);
+  edge_head_ = std::make_unique<Linear>(2 * config_.encoder.hidden_dim, 1,
+                                        &rng_);
+  projection_ = std::make_unique<Mlp>(
+      std::vector<int64_t>{config_.encoder.hidden_dim,
+                           config_.encoder.hidden_dim,
+                           config_.encoder.hidden_dim},
+      &rng_);
+  std::vector<Tensor> aug_params = augmenter_gnn_->Parameters();
+  auto head_params = edge_head_->Parameters();
+  aug_params.insert(aug_params.end(), head_params.begin(), head_params.end());
+  augmenter_optimizer_ =
+      std::make_unique<Adam>(std::move(aug_params), config_.learning_rate);
+}
+
+std::vector<Tensor> AdGclBaseline::TrainableParameters() const {
+  // The augmenter is optimized adversarially by its own optimizer.
+  return ConcatParameters({encoder_.get(), projection_.get()});
+}
+
+Tensor AdGclBaseline::EdgeKeepWeights(const GraphBatch& batch) const {
+  Tensor h = augmenter_gnn_->EncodeNodes(batch.features, batch);
+  Tensor pair = ConcatCols(GatherRows(h, batch.edge_src),
+                           GatherRows(h, batch.edge_dst));
+  return Sigmoid(edge_head_->Forward(pair));  // [E, 1]
+}
+
+Tensor AdGclBaseline::BatchLoss(const std::vector<const Graph*>& graphs,
+                                Rng* rng) {
+  (void)rng;
+  GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  if (batch.edge_src.empty()) {
+    // Degenerate batch with no edges: plain anchor-vs-anchor loss.
+    Tensor z = projection_->Forward(encoder_->EncodeGraphs(batch));
+    return SemanticInfoNceLoss(z, z, config_.tau);
+  }
+
+  // --- Augmenter (max) step: ascent on the contrastive loss. ---
+  {
+    Tensor w = EdgeKeepWeights(batch);
+    GraphBatch view = batch;
+    view.edge_weights = w;
+    Tensor z_anchor = projection_->Forward(encoder_->EncodeGraphs(batch));
+    Tensor z_view = projection_->Forward(encoder_->EncodeGraphs(view));
+    // maximize InfoNCE <=> minimize -InfoNCE + retention penalty.
+    Tensor adv = Add(Neg(SemanticInfoNceLoss(z_anchor, z_view, config_.tau)),
+                     MulScalar(Mean(AddScalar(Neg(w), 1.0f)),
+                               retention_weight_));
+    augmenter_optimizer_->ZeroGrad();
+    adv.Backward();
+    augmenter_optimizer_->ClipGradNorm(config_.grad_clip);
+    augmenter_optimizer_->Step();
+    // This backward also deposited gradients into the encoder/projection;
+    // clear them so the encoder (min) step below starts clean.
+    for (Tensor& p : TrainableParameters()) p.ZeroGrad();
+  }
+
+  // --- Encoder (min) step loss, with the augmenter frozen. ---
+  Tensor w = EdgeKeepWeights(batch).Detach();
+  GraphBatch view = batch;
+  view.edge_weights = w;
+  Tensor z_anchor = projection_->Forward(encoder_->EncodeGraphs(batch));
+  Tensor z_view = projection_->Forward(encoder_->EncodeGraphs(view));
+  return SemanticInfoNceLoss(z_anchor, z_view, config_.tau);
+}
+
+}  // namespace sgcl

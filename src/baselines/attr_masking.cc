@@ -1,0 +1,70 @@
+#include "baselines/attr_masking.h"
+
+#include "tensor/graph_ops.h"
+#include "tensor/ops.h"
+
+namespace sgcl {
+
+AttrMaskingBaseline::AttrMaskingBaseline(const BaselineConfig& config)
+    : GclPretrainerBase(config, "AttrMasking") {
+  decoder_ = std::make_unique<Linear>(config_.encoder.hidden_dim,
+                                      config_.encoder.in_dim, &rng_);
+}
+
+std::vector<Tensor> AttrMaskingBaseline::TrainableParameters() const {
+  return ConcatParameters({encoder_.get(), decoder_.get()});
+}
+
+Tensor AttrMaskingBaseline::BatchLoss(const std::vector<const Graph*>& graphs,
+                                      Rng* rng) {
+  GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  const int64_t n = batch.num_nodes;
+  const int64_t d = batch.feat_dim;
+  // Choose masked nodes and their ground-truth types (argmax of the
+  // one-hot features).
+  std::vector<int64_t> masked_nodes;
+  std::vector<int> targets;
+  std::vector<float> feats(batch.features.values());
+  for (int64_t v = 0; v < n; ++v) {
+    if (!rng->Bernoulli(config_.aug_ratio)) continue;
+    int type = 0;
+    float best = feats[v * d];
+    for (int64_t j = 1; j < d; ++j) {
+      if (feats[v * d + j] > best) {
+        best = feats[v * d + j];
+        type = static_cast<int>(j);
+      }
+    }
+    masked_nodes.push_back(v);
+    targets.push_back(type);
+    for (int64_t j = 0; j < d; ++j) feats[v * d + j] = 0.0f;
+  }
+  if (masked_nodes.size() < 2) {
+    // Tiny batch / unlucky draw: deterministically mask the first nodes
+    // instead of resampling.
+    masked_nodes.clear();
+    targets.clear();
+    feats = batch.features.values();
+    for (int64_t v = 0; v < std::min<int64_t>(2, n); ++v) {
+      int type = 0;
+      float best = feats[v * d];
+      for (int64_t j = 1; j < d; ++j) {
+        if (feats[v * d + j] > best) {
+          best = feats[v * d + j];
+          type = static_cast<int>(j);
+        }
+      }
+      masked_nodes.push_back(v);
+      targets.push_back(type);
+      for (int64_t j = 0; j < d; ++j) feats[v * d + j] = 0.0f;
+    }
+  }
+  GraphBatch masked = batch;
+  masked.features = Tensor::FromVector({n, d}, std::move(feats));
+  Tensor h = encoder_->EncodeNodes(masked.features, masked);
+  std::vector<int32_t> idx(masked_nodes.begin(), masked_nodes.end());
+  Tensor logits = decoder_->Forward(GatherRows(h, idx));
+  return CrossEntropyWithLogits(logits, targets);
+}
+
+}  // namespace sgcl

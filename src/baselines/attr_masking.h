@@ -1,0 +1,30 @@
+// AttrMasking pretraining (Hu et al., ICLR'20): mask a fraction of node
+// attributes and reconstruct the original one-hot type from the masked
+// encoding with a per-node linear decoder.
+#ifndef SGCL_BASELINES_ATTR_MASKING_H_
+#define SGCL_BASELINES_ATTR_MASKING_H_
+
+#include <memory>
+
+#include "baselines/pretrainer.h"
+#include "nn/linear.h"
+
+namespace sgcl {
+
+class AttrMaskingBaseline : public GclPretrainerBase {
+ public:
+  explicit AttrMaskingBaseline(const BaselineConfig& config);
+
+  std::vector<Tensor> TrainableParameters() const override;
+
+ protected:
+  Tensor BatchLoss(const std::vector<const Graph*>& graphs,
+                   Rng* rng) override;
+
+ private:
+  std::unique_ptr<Linear> decoder_;  // hidden -> feat_dim logits
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_BASELINES_ATTR_MASKING_H_

@@ -1,0 +1,54 @@
+#include "baselines/context_pred.h"
+
+#include "tensor/graph_ops.h"
+#include "tensor/ops.h"
+
+namespace sgcl {
+
+ContextPredBaseline::ContextPredBaseline(const BaselineConfig& config)
+    : GclPretrainerBase(config, "ContextPred") {
+  bilinear_ = std::make_unique<Linear>(config_.encoder.hidden_dim,
+                                       config_.encoder.hidden_dim, &rng_,
+                                       /*use_bias=*/false);
+}
+
+std::vector<Tensor> ContextPredBaseline::TrainableParameters() const {
+  return ConcatParameters({encoder_.get(), bilinear_.get()});
+}
+
+Tensor ContextPredBaseline::BatchLoss(const std::vector<const Graph*>& graphs,
+                                      Rng* rng) {
+  GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  const int64_t n = batch.num_nodes;
+  Tensor h = encoder_->EncodeNodes(batch.features, batch);
+  // Context: mean of neighbor embeddings.
+  Tensor ctx;
+  if (batch.edge_src.empty()) {
+    ctx = Tensor::Zeros({n, h.cols()});
+  } else {
+    Tensor sums = ScatterAddRows(GatherRows(h, batch.edge_src),
+                                 batch.edge_dst, n);
+    std::vector<int64_t> deg = batch.Degrees();
+    std::vector<float> inv(static_cast<size_t>(n));
+    for (int64_t v = 0; v < n; ++v) {
+      inv[v] = deg[v] > 0 ? 1.0f / static_cast<float>(deg[v]) : 0.0f;
+    }
+    ctx = MulBroadcastCol(sums, Tensor::FromVector({n, 1}, std::move(inv)));
+  }
+  // Scores: h_i W . ctx_j — positives on the diagonal, one negative per
+  // node from a random permutation.
+  Tensor hw = bilinear_->Forward(h);
+  Tensor pos_scores = RowSum(Mul(hw, ctx));  // [n,1]
+  std::vector<int32_t> perm(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) perm[v] = static_cast<int32_t>(v);
+  rng->Shuffle(&perm);
+  Tensor neg_scores = RowSum(Mul(hw, GatherRows(ctx, perm)));
+  // BCE with logits: positives -> 1, negatives -> 0.
+  Tensor logits = ConcatCols(pos_scores, neg_scores);  // [n,2]
+  std::vector<float> targets(static_cast<size_t>(2 * n), 0.0f);
+  for (int64_t v = 0; v < n; ++v) targets[v * 2] = 1.0f;
+  return BceWithLogits(logits, Tensor::FromVector({n, 2}, std::move(targets)),
+                       Tensor::Ones({n, 2}));
+}
+
+}  // namespace sgcl

@@ -1,0 +1,31 @@
+// ContextPred pretraining (Hu et al., ICLR'20), simplified: discriminate
+// true (node, neighborhood-context) pairs from corrupted ones. The
+// context of a node is the mean of its neighbors' embeddings; negatives
+// pair each node with a random other node's context.
+#ifndef SGCL_BASELINES_CONTEXT_PRED_H_
+#define SGCL_BASELINES_CONTEXT_PRED_H_
+
+#include <memory>
+
+#include "baselines/pretrainer.h"
+#include "nn/linear.h"
+
+namespace sgcl {
+
+class ContextPredBaseline : public GclPretrainerBase {
+ public:
+  explicit ContextPredBaseline(const BaselineConfig& config);
+
+  std::vector<Tensor> TrainableParameters() const override;
+
+ protected:
+  Tensor BatchLoss(const std::vector<const Graph*>& graphs,
+                   Rng* rng) override;
+
+ private:
+  std::unique_ptr<Linear> bilinear_;  // hidden -> hidden (no bias)
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_BASELINES_CONTEXT_PRED_H_

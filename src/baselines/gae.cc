@@ -1,0 +1,34 @@
+#include "baselines/gae.h"
+
+#include "tensor/graph_ops.h"
+#include "tensor/ops.h"
+
+namespace sgcl {
+
+GaeBaseline::GaeBaseline(const BaselineConfig& config)
+    : GclPretrainerBase(config, "GAE") {}
+
+Tensor GaeBaseline::BatchLoss(const std::vector<const Graph*>& graphs,
+                              Rng* rng) {
+  GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  Tensor h = encoder_->EncodeNodes(batch.features, batch);
+  const int64_t e = static_cast<int64_t>(batch.edge_src.size());
+  if (e == 0) return SumSquares(Mean(h));  // nothing to reconstruct
+  // Positive pairs: existing edges. Negative pairs: uniformly sampled
+  // node pairs within the batch (an equal number).
+  std::vector<int32_t> src = batch.edge_src;
+  std::vector<int32_t> dst = batch.edge_dst;
+  const int64_t n = batch.num_nodes;
+  std::vector<float> targets(static_cast<size_t>(2 * e), 0.0f);
+  for (int64_t r = 0; r < e; ++r) targets[r] = 1.0f;
+  for (int64_t r = 0; r < e; ++r) {
+    src.push_back(static_cast<int32_t>(rng->UniformInt(n)));
+    dst.push_back(static_cast<int32_t>(rng->UniformInt(n)));
+  }
+  Tensor logits = RowSum(Mul(GatherRows(h, src), GatherRows(h, dst)));
+  return BceWithLogits(logits,
+                       Tensor::FromVector({2 * e, 1}, std::move(targets)),
+                       Tensor::Ones({2 * e, 1}));
+}
+
+}  // namespace sgcl

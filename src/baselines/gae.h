@@ -1,0 +1,21 @@
+// Graph autoencoder pretraining (Kipf & Welling'16 style): reconstruct
+// edges from inner products of node embeddings, with negative sampling.
+#ifndef SGCL_BASELINES_GAE_H_
+#define SGCL_BASELINES_GAE_H_
+
+#include "baselines/pretrainer.h"
+
+namespace sgcl {
+
+class GaeBaseline : public GclPretrainerBase {
+ public:
+  explicit GaeBaseline(const BaselineConfig& config);
+
+ protected:
+  Tensor BatchLoss(const std::vector<const Graph*>& graphs,
+                   Rng* rng) override;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_BASELINES_GAE_H_

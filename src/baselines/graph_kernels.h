@@ -1,0 +1,50 @@
+// Traditional graph-kernel baselines: GL (graphlet sampling kernel,
+// Shervashidze et al., AISTATS'09), WL (Weisfeiler-Lehman subtree kernel,
+// JMLR'11), and DGK (deep graph kernel, KDD'15 — WL features with label
+// embeddings learned from co-occurrence; see DESIGN.md for the
+// simplification).
+#ifndef SGCL_BASELINES_GRAPH_KERNELS_H_
+#define SGCL_BASELINES_GRAPH_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sgcl {
+
+enum class KernelKind { kGraphlet, kWlSubtree, kDeepWl };
+
+class GraphKernel {
+ public:
+  explicit GraphKernel(KernelKind kind, int wl_iterations = 3,
+                       int graphlet_samples = 300, uint64_t seed = 0);
+
+  // Cosine-normalized Gram matrix over `graphs` (row-major n x n).
+  std::vector<double> GramMatrix(
+      const std::vector<const Graph*>& graphs) const;
+
+  std::string name() const;
+  KernelKind kind() const { return kind_; }
+
+  // Sparse WL subtree feature histogram of one graph (all iterations
+  // pooled). Exposed for tests.
+  std::unordered_map<int64_t, double> WlFeatureMap(const Graph& graph) const;
+
+  // 4-bin histogram over sampled 3-node graphlets (0..3 internal edges),
+  // normalized to sum 1. Exposed for tests.
+  std::vector<double> GraphletHistogram(const Graph& graph,
+                                        uint64_t seed) const;
+
+ private:
+  KernelKind kind_;
+  int wl_iterations_;
+  int graphlet_samples_;
+  uint64_t seed_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_BASELINES_GRAPH_KERNELS_H_

@@ -1,0 +1,164 @@
+#include "baselines/graphcl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contrastive_loss.h"
+#include "nn/pooling.h"
+#include "tensor/ops.h"
+
+namespace sgcl {
+
+const char* GraphAugToString(GraphAug aug) {
+  switch (aug) {
+    case GraphAug::kIdentity:
+      return "identity";
+    case GraphAug::kNodeDrop:
+      return "node_drop";
+    case GraphAug::kEdgePerturb:
+      return "edge_perturb";
+    case GraphAug::kAttrMask:
+      return "attr_mask";
+    case GraphAug::kSubgraph:
+      return "subgraph";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Graph NodeDrop(const Graph& g, float ratio, Rng* rng) {
+  const int64_t n = g.num_nodes();
+  if (n <= 2) return g;
+  int64_t drop = static_cast<int64_t>(std::lround(ratio * n));
+  drop = std::min(drop, n - 2);  // keep at least two nodes
+  std::vector<uint8_t> keep(static_cast<size_t>(n), 1);
+  for (int64_t v : rng->SampleWithoutReplacement(n, drop)) keep[v] = 0;
+  return g.InducedSubgraph(keep);
+}
+
+Graph EdgePerturb(const Graph& g, float ratio, Rng* rng) {
+  Graph out = g;
+  const int64_t n = g.num_nodes();
+  if (n < 2) return out;
+  // Remove `k` random existing edges, then add `k` random new ones.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (size_t r = 0; r < g.edge_src().size(); ++r) {
+    if (g.edge_src()[r] < g.edge_dst()[r]) {
+      edges.emplace_back(g.edge_src()[r], g.edge_dst()[r]);
+    }
+  }
+  const int64_t k = static_cast<int64_t>(
+      std::lround(ratio * static_cast<double>(edges.size())));
+  for (int64_t idx :
+       rng->SampleWithoutReplacement(static_cast<int64_t>(edges.size()),
+                                     std::min<int64_t>(k, edges.size()))) {
+    out.RemoveUndirectedEdge(edges[idx].first, edges[idx].second);
+  }
+  for (int64_t t = 0; t < k; ++t) {
+    const int64_t a = rng->UniformInt(n);
+    const int64_t b = rng->UniformInt(n);
+    if (a != b) out.AddUndirectedEdge(a, b);
+  }
+  return out;
+}
+
+Graph AttrMask(const Graph& g, float ratio, Rng* rng) {
+  Graph out = g;
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    if (rng->Bernoulli(ratio)) {
+      for (int64_t j = 0; j < g.feat_dim(); ++j) out.set_feature(v, j, 0.0f);
+    }
+  }
+  return out;
+}
+
+Graph Subgraph(const Graph& g, float ratio, Rng* rng) {
+  const int64_t n = g.num_nodes();
+  if (n <= 2) return g;
+  const int64_t target = std::max<int64_t>(
+      2, static_cast<int64_t>(std::lround((1.0f - ratio) * n)));
+  // Random-walk subgraph sampling from a random start node.
+  std::vector<uint8_t> keep(static_cast<size_t>(n), 0);
+  int64_t current = rng->UniformInt(n);
+  keep[current] = 1;
+  int64_t kept = 1;
+  int64_t steps = 0;
+  while (kept < target && steps < 20 * n) {
+    auto nbrs = g.Neighbors(current);
+    if (nbrs.empty()) {
+      current = rng->UniformInt(n);  // restart from a random node
+    } else {
+      current = nbrs[rng->UniformInt(static_cast<int64_t>(nbrs.size()))];
+    }
+    if (!keep[current]) {
+      keep[current] = 1;
+      ++kept;
+    }
+    ++steps;
+  }
+  return g.InducedSubgraph(keep);
+}
+
+}  // namespace
+
+Graph ApplyRandomAugmentation(const Graph& graph, GraphAug aug, float ratio,
+                              Rng* rng) {
+  SGCL_CHECK(rng != nullptr);
+  SGCL_CHECK(ratio >= 0.0f && ratio < 1.0f);
+  switch (aug) {
+    case GraphAug::kIdentity:
+      return graph;
+    case GraphAug::kNodeDrop:
+      return NodeDrop(graph, ratio, rng);
+    case GraphAug::kEdgePerturb:
+      return EdgePerturb(graph, ratio, rng);
+    case GraphAug::kAttrMask:
+      return AttrMask(graph, ratio, rng);
+    case GraphAug::kSubgraph:
+      return Subgraph(graph, ratio, rng);
+  }
+  SGCL_CHECK(false);
+  return graph;
+}
+
+GraphClBaseline::GraphClBaseline(const BaselineConfig& config, GraphAug aug1,
+                                 GraphAug aug2)
+    : GraphClBaseline(config, aug1, aug2, "GraphCL") {}
+
+GraphClBaseline::GraphClBaseline(const BaselineConfig& config, GraphAug aug1,
+                                 GraphAug aug2, std::string name)
+    : GclPretrainerBase(config, std::move(name)), aug1_(aug1), aug2_(aug2) {
+  projection_ = std::make_unique<Mlp>(
+      std::vector<int64_t>{config_.encoder.hidden_dim,
+                           config_.encoder.hidden_dim,
+                           config_.encoder.hidden_dim},
+      &rng_);
+}
+
+std::vector<Tensor> GraphClBaseline::TrainableParameters() const {
+  return ConcatParameters({encoder_.get(), projection_.get()});
+}
+
+Tensor GraphClBaseline::BatchLoss(const std::vector<const Graph*>& graphs,
+                                  Rng* rng) {
+  std::vector<Graph> view1, view2;
+  view1.reserve(graphs.size());
+  view2.reserve(graphs.size());
+  for (const Graph* g : graphs) {
+    view1.push_back(ApplyRandomAugmentation(*g, aug1_, config_.aug_ratio,
+                                            rng));
+    view2.push_back(ApplyRandomAugmentation(*g, aug2_, config_.aug_ratio,
+                                            rng));
+  }
+  GraphBatch b1 = GraphBatch::FromGraphs(view1);
+  GraphBatch b2 = GraphBatch::FromGraphs(view2);
+  Tensor z1 = projection_->Forward(encoder_->EncodeGraphs(b1));
+  Tensor z2 = projection_->Forward(encoder_->EncodeGraphs(b2));
+  // Symmetric NT-Xent.
+  return MulScalar(Add(SemanticInfoNceLoss(z1, z2, config_.tau),
+                       SemanticInfoNceLoss(z2, z1, config_.tau)),
+                   0.5f);
+}
+
+}  // namespace sgcl

@@ -1,0 +1,54 @@
+// GraphCL baseline (You et al., NeurIPS'20) and its random graph
+// augmentation operators, shared by JOAO.
+#ifndef SGCL_BASELINES_GRAPHCL_H_
+#define SGCL_BASELINES_GRAPHCL_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/pretrainer.h"
+#include "nn/mlp.h"
+
+namespace sgcl {
+
+// GraphCL's four augmentation families plus identity.
+enum class GraphAug {
+  kIdentity,
+  kNodeDrop,
+  kEdgePerturb,
+  kAttrMask,
+  kSubgraph,
+};
+
+const char* GraphAugToString(GraphAug aug);
+
+// Applies `aug` with strength `ratio` (fraction of nodes/edges/features
+// touched). Always returns a structurally valid graph.
+Graph ApplyRandomAugmentation(const Graph& graph, GraphAug aug, float ratio,
+                              Rng* rng);
+
+// GraphCL: two independently augmented views per graph, NT-Xent between
+// their projected embeddings.
+class GraphClBaseline : public GclPretrainerBase {
+ public:
+  GraphClBaseline(const BaselineConfig& config,
+                  GraphAug aug1 = GraphAug::kNodeDrop,
+                  GraphAug aug2 = GraphAug::kNodeDrop);
+
+  std::vector<Tensor> TrainableParameters() const override;
+
+ protected:
+  GraphClBaseline(const BaselineConfig& config, GraphAug aug1, GraphAug aug2,
+                  std::string name);
+  Tensor BatchLoss(const std::vector<const Graph*>& graphs,
+                   Rng* rng) override;
+
+  // Current augmentation pair (JOAO mutates these between epochs).
+  GraphAug aug1_;
+  GraphAug aug2_;
+  std::unique_ptr<Mlp> projection_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_BASELINES_GRAPHCL_H_

@@ -1,0 +1,60 @@
+#include "baselines/infograph.h"
+
+#include "nn/pooling.h"
+#include "tensor/ops.h"
+
+namespace sgcl {
+
+InfoGraphBaseline::InfoGraphBaseline(const BaselineConfig& config,
+                                     std::string name)
+    : GclPretrainerBase(config, std::move(name)) {
+  const int64_t h = config_.encoder.hidden_dim;
+  node_proj_ = std::make_unique<Mlp>(std::vector<int64_t>{h, h, h}, &rng_);
+  graph_proj_ = std::make_unique<Mlp>(std::vector<int64_t>{h, h, h}, &rng_);
+}
+
+std::vector<Tensor> InfoGraphBaseline::TrainableParameters() const {
+  return ConcatParameters(
+      {encoder_.get(), node_proj_.get(), graph_proj_.get()});
+}
+
+Tensor InfoGraphBaseline::BatchLoss(const std::vector<const Graph*>& graphs,
+                                    Rng* rng) {
+  (void)rng;
+  GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  Tensor nodes = encoder_->EncodeNodes(batch.features, batch);
+  Tensor graphs_rep = Pool(nodes, batch, config_.encoder.pooling);
+  Tensor phi = node_proj_->Forward(nodes);        // [N, h]
+  Tensor psi = graph_proj_->Forward(graphs_rep);  // [B, h]
+  // Score of (node i, graph g): phi_i . psi_g.
+  Tensor scores = MatMulTransB(phi, psi);         // [N, B]
+  // JSD MI estimator: -softplus(-s) on positive pairs, softplus(s) on
+  // negative pairs, averaged.
+  const int64_t n = batch.num_nodes;
+  const int64_t b = batch.num_graphs;
+  std::vector<float> pos(static_cast<size_t>(n * b), 0.0f);
+  std::vector<float> neg(static_cast<size_t>(n * b), 0.0f);
+  double num_pos = 0.0, num_neg = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t g = 0; g < b; ++g) {
+      if (batch.node_graph_ids[i] == g) {
+        pos[i * b + g] = 1.0f;
+        num_pos += 1.0;
+      } else {
+        neg[i * b + g] = 1.0f;
+        num_neg += 1.0;
+      }
+    }
+  }
+  SGCL_CHECK_GT(num_pos, 0.0);
+  SGCL_CHECK_GT(num_neg, 0.0);
+  Tensor pos_mask = Tensor::FromVector({n, b}, std::move(pos));
+  Tensor neg_mask = Tensor::FromVector({n, b}, std::move(neg));
+  Tensor pos_loss = MulScalar(Sum(Mul(Softplus(Neg(scores)), pos_mask)),
+                              1.0f / static_cast<float>(num_pos));
+  Tensor neg_loss = MulScalar(Sum(Mul(Softplus(scores), neg_mask)),
+                              1.0f / static_cast<float>(num_neg));
+  return Add(pos_loss, neg_loss);
+}
+
+}  // namespace sgcl

@@ -1,0 +1,33 @@
+// InfoGraph baseline (Sun et al., ICLR'20): maximize mutual information
+// between node-level and graph-level representations with a JSD
+// discriminator. Also serves as the "Infomax" (DGI-style) row in the
+// semi-supervised table.
+#ifndef SGCL_BASELINES_INFOGRAPH_H_
+#define SGCL_BASELINES_INFOGRAPH_H_
+
+#include <memory>
+
+#include "baselines/pretrainer.h"
+#include "nn/mlp.h"
+
+namespace sgcl {
+
+class InfoGraphBaseline : public GclPretrainerBase {
+ public:
+  explicit InfoGraphBaseline(const BaselineConfig& config,
+                             std::string name = "InfoGraph");
+
+  std::vector<Tensor> TrainableParameters() const override;
+
+ protected:
+  Tensor BatchLoss(const std::vector<const Graph*>& graphs,
+                   Rng* rng) override;
+
+ private:
+  std::unique_ptr<Mlp> node_proj_;
+  std::unique_ptr<Mlp> graph_proj_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_BASELINES_INFOGRAPH_H_

@@ -1,0 +1,50 @@
+#include "baselines/joao.h"
+
+#include <cmath>
+
+namespace sgcl {
+
+JoaoBaseline::JoaoBaseline(const BaselineConfig& config)
+    : GraphClBaseline(config, GraphAug::kNodeDrop, GraphAug::kNodeDrop,
+                      "JOAOv2"),
+      pool_({GraphAug::kNodeDrop, GraphAug::kEdgePerturb, GraphAug::kAttrMask,
+             GraphAug::kSubgraph}),
+      weights_(pool_.size(), 1.0),
+      epoch_loss_(pool_.size(), 0.0),
+      epoch_count_(pool_.size(), 0) {}
+
+Tensor JoaoBaseline::BatchLoss(const std::vector<const Graph*>& graphs,
+                               Rng* rng) {
+  // Sample the pair for this batch from the current distribution.
+  const int64_t a1 = rng->Categorical(weights_);
+  const int64_t a2 = rng->Categorical(weights_);
+  aug1_ = pool_[a1];
+  aug2_ = pool_[a2];
+  Tensor loss = GraphClBaseline::BatchLoss(graphs, rng);
+  epoch_loss_[a1] += loss.item();
+  epoch_loss_[a2] += loss.item();
+  epoch_count_[a1] += 1;
+  epoch_count_[a2] += 1;
+  return loss;
+}
+
+void JoaoBaseline::OnEpochEnd(int epoch) {
+  (void)epoch;
+  // Outer (max) step: softmax over mean losses — harder augmentations get
+  // sampled more, regularized toward uniform.
+  double max_mean = 0.0;
+  std::vector<double> means(pool_.size(), 0.0);
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    if (epoch_count_[i] > 0) {
+      means[i] = epoch_loss_[i] / static_cast<double>(epoch_count_[i]);
+    }
+    max_mean = std::max(max_mean, means[i]);
+    epoch_loss_[i] = 0.0;
+    epoch_count_[i] = 0;
+  }
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    weights_[i] = 0.25 + std::exp(means[i] - max_mean);
+  }
+}
+
+}  // namespace sgcl

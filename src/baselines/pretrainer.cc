@@ -1,0 +1,81 @@
+#include "baselines/pretrainer.h"
+
+#include "common/logging.h"
+
+namespace sgcl {
+
+GclPretrainerBase::GclPretrainerBase(const BaselineConfig& config,
+                                     std::string name)
+    : config_(config), rng_(config.seed), name_(std::move(name)) {
+  encoder_ = std::make_unique<GnnEncoder>(config_.encoder, &rng_);
+}
+
+std::vector<Tensor> GclPretrainerBase::TrainableParameters() const {
+  return encoder_->Parameters();
+}
+
+PretrainStats GclPretrainerBase::Pretrain(
+    const GraphDataset& dataset, const std::vector<int64_t>& indices) {
+  std::vector<int64_t> order = indices;
+  if (order.empty()) {
+    order.resize(dataset.size());
+    for (int64_t i = 0; i < dataset.size(); ++i) order[i] = i;
+  }
+  SGCL_CHECK_GE(order.size(), 2u);
+  Adam optimizer(TrainableParameters(), config_.learning_rate);
+  PretrainStats stats;
+  stats.epoch_losses.reserve(config_.epochs);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (size_t start = 0; start + 1 < order.size();
+         start += config_.batch_size) {
+      const size_t end = std::min(order.size(), start + config_.batch_size);
+      if (end - start < 2) break;
+      std::vector<const Graph*> batch;
+      batch.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        batch.push_back(&dataset.graph(order[i]));
+      }
+      optimizer.ZeroGrad();
+      Tensor loss = BatchLoss(batch, &rng_);
+      loss.Backward();
+      optimizer.ClipGradNorm(config_.grad_clip);
+      optimizer.Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    const float mean_loss =
+        batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
+    stats.epoch_losses.push_back(mean_loss);
+    SGCL_LOG(DEBUG) << name() << " epoch " << epoch << " loss " << mean_loss;
+    OnEpochEnd(epoch);
+  }
+  return stats;
+}
+
+Tensor GclPretrainerBase::EmbedGraphs(
+    const std::vector<const Graph*>& graphs) const {
+  GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  return encoder_->EncodeGraphs(batch).Detach();
+}
+
+NoPretrain::NoPretrain(const BaselineConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  encoder_ = std::make_unique<GnnEncoder>(config.encoder, &rng);
+}
+
+PretrainStats NoPretrain::Pretrain(const GraphDataset& dataset,
+                                   const std::vector<int64_t>& indices) {
+  (void)dataset;
+  (void)indices;
+  return PretrainStats{};
+}
+
+Tensor NoPretrain::EmbedGraphs(const std::vector<const Graph*>& graphs) const {
+  GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  return encoder_->EncodeGraphs(batch).Detach();
+}
+
+}  // namespace sgcl

@@ -1,0 +1,120 @@
+// Common interface for self-supervised graph pretrainers (SGCL and every
+// baseline), plus a shared minibatch training loop.
+#ifndef SGCL_BASELINES_PRETRAINER_H_
+#define SGCL_BASELINES_PRETRAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/sgcl_trainer.h"
+#include "graph/dataset.h"
+#include "nn/encoder.h"
+#include "tensor/optimizer.h"
+
+namespace sgcl {
+
+struct BaselineConfig {
+  EncoderConfig encoder;
+  float tau = 0.2f;
+  float learning_rate = 1e-3f;
+  int epochs = 40;
+  int batch_size = 128;
+  float grad_clip = 5.0f;
+  // Generic augmentation strength (node-drop / edge-perturb / mask ratio).
+  float aug_ratio = 0.2f;
+  uint64_t seed = 0;
+};
+
+// Uniform handle over pretraining methods so evaluation harnesses and
+// benches can iterate "methods" generically.
+class Pretrainer {
+ public:
+  virtual ~Pretrainer() = default;
+
+  // Self-supervised pretraining over dataset[indices] (all when empty).
+  virtual PretrainStats Pretrain(const GraphDataset& dataset,
+                                 const std::vector<int64_t>& indices) = 0;
+
+  // Frozen graph embeddings for downstream evaluation.
+  virtual Tensor EmbedGraphs(
+      const std::vector<const Graph*>& graphs) const = 0;
+
+  // The representation encoder, exposed for fine-tuning protocols.
+  virtual GnnEncoder* mutable_encoder() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Shared epoch/minibatch loop: subclasses provide the per-batch loss.
+// Parameters returned by TrainableParameters() are optimized with Adam.
+class GclPretrainerBase : public Pretrainer {
+ public:
+  GclPretrainerBase(const BaselineConfig& config, std::string name);
+
+  PretrainStats Pretrain(const GraphDataset& dataset,
+                         const std::vector<int64_t>& indices) override;
+  Tensor EmbedGraphs(const std::vector<const Graph*>& graphs) const override;
+  GnnEncoder* mutable_encoder() override { return encoder_.get(); }
+  std::string name() const override { return name_; }
+
+ protected:
+  // The minibatch objective; must be differentiable w.r.t. the tensors
+  // returned by TrainableParameters().
+  virtual Tensor BatchLoss(const std::vector<const Graph*>& graphs,
+                           Rng* rng) = 0;
+  virtual std::vector<Tensor> TrainableParameters() const;
+  // Hook called once per epoch (e.g., JOAO's augmentation re-weighting).
+  virtual void OnEpochEnd(int epoch) { (void)epoch; }
+
+  BaselineConfig config_;
+  Rng rng_;
+  std::unique_ptr<GnnEncoder> encoder_;
+
+ private:
+  std::string name_;
+};
+
+// SGCL exposed through the same interface for side-by-side benches.
+class SgclPretrainer : public Pretrainer {
+ public:
+  SgclPretrainer(const SgclConfig& config, uint64_t seed)
+      : trainer_(config, seed) {}
+
+  PretrainStats Pretrain(const GraphDataset& dataset,
+                         const std::vector<int64_t>& indices) override {
+    return trainer_.Pretrain(dataset, indices);
+  }
+  Tensor EmbedGraphs(const std::vector<const Graph*>& graphs) const override {
+    return trainer_.model().EmbedGraphs(graphs);
+  }
+  GnnEncoder* mutable_encoder() override {
+    return trainer_.model().mutable_encoder_k();
+  }
+  std::string name() const override { return "SGCL"; }
+
+  SgclTrainer& trainer() { return trainer_; }
+
+ private:
+  SgclTrainer trainer_;
+};
+
+// Control that performs no pretraining ("No Pre-Train" rows).
+class NoPretrain : public Pretrainer {
+ public:
+  NoPretrain(const BaselineConfig& config, uint64_t seed);
+
+  PretrainStats Pretrain(const GraphDataset& dataset,
+                         const std::vector<int64_t>& indices) override;
+  Tensor EmbedGraphs(const std::vector<const Graph*>& graphs) const override;
+  GnnEncoder* mutable_encoder() override { return encoder_.get(); }
+  std::string name() const override { return "No Pre-Train"; }
+
+ private:
+  std::unique_ptr<GnnEncoder> encoder_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_BASELINES_PRETRAINER_H_

@@ -1,0 +1,28 @@
+// Name-based factory over every pretraining method in the library, so
+// experiment drivers (and downstream users) can construct methods from
+// configuration strings.
+#ifndef SGCL_BASELINES_REGISTRY_H_
+#define SGCL_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/pretrainer.h"
+#include "core/sgcl_config.h"
+
+namespace sgcl {
+
+// Every method name MakePretrainer accepts.
+std::vector<std::string> RegisteredPretrainerNames();
+
+// Builds a pretrainer by name. Baseline methods use `baseline_config`;
+// "SGCL" uses `sgcl_config` (pass MakeUnsupervisedConfig(...) or a
+// customized config). Returns NotFound for unknown names.
+Result<std::unique_ptr<Pretrainer>> MakePretrainer(
+    const std::string& name, const BaselineConfig& baseline_config,
+    const SgclConfig& sgcl_config, uint64_t seed);
+
+}  // namespace sgcl
+
+#endif  // SGCL_BASELINES_REGISTRY_H_

@@ -1,0 +1,60 @@
+#include "baselines/simgrace.h"
+
+#include <cmath>
+
+#include "core/contrastive_loss.h"
+#include "tensor/ops.h"
+
+namespace sgcl {
+
+SimGraceBaseline::SimGraceBaseline(const BaselineConfig& config, float eta)
+    : GclPretrainerBase(config, "SimGRACE"), eta_(eta) {
+  perturbed_ = std::make_unique<GnnEncoder>(config_.encoder, &rng_);
+  projection_ = std::make_unique<Mlp>(
+      std::vector<int64_t>{config_.encoder.hidden_dim,
+                           config_.encoder.hidden_dim,
+                           config_.encoder.hidden_dim},
+      &rng_);
+}
+
+std::vector<Tensor> SimGraceBaseline::TrainableParameters() const {
+  // The perturbed tower is derived, not trained.
+  return ConcatParameters({encoder_.get(), projection_.get()});
+}
+
+void SimGraceBaseline::RefreshPerturbedEncoder(Rng* rng) {
+  perturbed_->CopyParametersFrom(*encoder_);
+  std::vector<Tensor> params = perturbed_->Parameters();
+  for (Tensor& p : params) {
+    // Per-tensor std as the perturbation scale (SimGRACE's sigma_l).
+    double mean = 0.0, sq = 0.0;
+    const auto& data = p.impl()->data;
+    if (data.empty()) continue;
+    for (float v : data) {
+      mean += v;
+      sq += static_cast<double>(v) * v;
+    }
+    mean /= static_cast<double>(data.size());
+    const double var =
+        std::max(sq / static_cast<double>(data.size()) - mean * mean, 1e-12);
+    const double sigma = eta_ * std::sqrt(var);
+    for (float& v : p.impl()->data) {
+      v += static_cast<float>(rng->Normal(0.0, sigma));
+    }
+  }
+}
+
+Tensor SimGraceBaseline::BatchLoss(const std::vector<const Graph*>& graphs,
+                                   Rng* rng) {
+  RefreshPerturbedEncoder(rng);
+  GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  Tensor z1 = projection_->Forward(encoder_->EncodeGraphs(batch));
+  // The perturbed tower is a constant view (no grad into it).
+  Tensor z2 = projection_->Forward(
+      perturbed_->EncodeGraphs(batch).Detach());
+  return MulScalar(Add(SemanticInfoNceLoss(z1, z2, config_.tau),
+                       SemanticInfoNceLoss(z2, z1, config_.tau)),
+                   0.5f);
+}
+
+}  // namespace sgcl

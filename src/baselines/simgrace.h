@@ -1,0 +1,37 @@
+// SimGRACE baseline (Xia et al., WWW'22): no data augmentation — the
+// second view comes from a weight-perturbed copy of the encoder
+// (theta' = theta + eta * N(0, sigma_layer)), NT-Xent between the two
+// encoders' projected graph embeddings.
+#ifndef SGCL_BASELINES_SIMGRACE_H_
+#define SGCL_BASELINES_SIMGRACE_H_
+
+#include <memory>
+
+#include "baselines/pretrainer.h"
+#include "nn/mlp.h"
+
+namespace sgcl {
+
+class SimGraceBaseline : public GclPretrainerBase {
+ public:
+  // `eta` scales the perturbation relative to each tensor's own std.
+  SimGraceBaseline(const BaselineConfig& config, float eta = 0.1f);
+
+  std::vector<Tensor> TrainableParameters() const override;
+
+ protected:
+  Tensor BatchLoss(const std::vector<const Graph*>& graphs,
+                   Rng* rng) override;
+
+ private:
+  // Copies encoder_ weights into perturbed_ and adds scaled noise.
+  void RefreshPerturbedEncoder(Rng* rng);
+
+  float eta_;
+  std::unique_ptr<GnnEncoder> perturbed_;
+  std::unique_ptr<Mlp> projection_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_BASELINES_SIMGRACE_H_

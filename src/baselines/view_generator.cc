@@ -1,0 +1,105 @@
+#include "baselines/view_generator.h"
+
+#include <cmath>
+
+#include "core/augmentation.h"
+#include "core/contrastive_loss.h"
+#include "nn/pooling.h"
+#include "tensor/ops.h"
+
+namespace sgcl {
+
+LearnableViewBaseline::LearnableViewBaseline(const BaselineConfig& config,
+                                             ViewGenVariant variant)
+    : GclPretrainerBase(config,
+                        variant == ViewGenVariant::kAutoGcl ? "AutoGCL"
+                                                            : "RGCL"),
+      variant_(variant) {
+  EncoderConfig gen_cfg = config_.encoder;
+  gen_cfg.num_layers = 2;
+  generator_gnn_ = std::make_unique<GnnEncoder>(gen_cfg, &rng_);
+  head1_ = std::make_unique<Linear>(config_.encoder.hidden_dim, 1, &rng_);
+  head2_ = std::make_unique<Linear>(config_.encoder.hidden_dim, 1, &rng_);
+  projection_ = std::make_unique<Mlp>(
+      std::vector<int64_t>{config_.encoder.hidden_dim,
+                           config_.encoder.hidden_dim,
+                           config_.encoder.hidden_dim},
+      &rng_);
+}
+
+std::vector<Tensor> LearnableViewBaseline::TrainableParameters() const {
+  return ConcatParameters({encoder_.get(), generator_gnn_.get(), head1_.get(),
+                           head2_.get(), projection_.get()});
+}
+
+Tensor LearnableViewBaseline::KeepScores(const GraphBatch& batch,
+                                         const Linear& head) const {
+  Tensor h = generator_gnn_->EncodeNodes(batch.features, batch);
+  return Sigmoid(head.Forward(h));
+}
+
+Tensor LearnableViewBaseline::EncodeView(const GraphBatch& batch,
+                                         const Tensor& scores, float ratio,
+                                         Rng* rng) const {
+  const int64_t n = batch.num_nodes;
+  // Hard drop: `ratio` of each graph's nodes, weighted by 1 - score.
+  std::vector<uint8_t> keep(static_cast<size_t>(n), 1);
+  for (int64_t g = 0; g < batch.num_graphs; ++g) {
+    const int64_t lo = batch.node_offsets[g], hi = batch.node_offsets[g + 1];
+    const int64_t size = hi - lo;
+    if (size <= 2) continue;
+    int64_t drop = static_cast<int64_t>(std::lround(ratio * size));
+    drop = std::min(drop, size - 2);
+    std::vector<double> w(static_cast<size_t>(size));
+    for (int64_t v = lo; v < hi; ++v) {
+      w[v - lo] = 1.0 - static_cast<double>(scores.At(v, 0)) + 1e-3;
+    }
+    for (int64_t p : rng->WeightedSampleWithoutReplacement(w, drop)) {
+      keep[lo + p] = 0;
+    }
+  }
+  GraphBatch view = MaskBatch(batch, keep);
+  Tensor nodes = encoder_->EncodeNodes(view.features, view);
+  std::vector<float> mask_vals(keep.begin(), keep.end());
+  Tensor soft = Mul(Tensor::FromVector({n, 1}, std::move(mask_vals)), scores);
+  return projection_->Forward(
+      Pool(MulBroadcastCol(nodes, soft), batch, config_.encoder.pooling));
+}
+
+Tensor LearnableViewBaseline::BatchLoss(
+    const std::vector<const Graph*>& graphs, Rng* rng) {
+  GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  if (variant_ == ViewGenVariant::kAutoGcl) {
+    // Two generated views contrast against each other.
+    Tensor s1 = KeepScores(batch, *head1_);
+    Tensor s2 = KeepScores(batch, *head2_);
+    Tensor z1 = EncodeView(batch, s1, config_.aug_ratio, rng);
+    Tensor z2 = EncodeView(batch, s2, config_.aug_ratio, rng);
+    return MulScalar(Add(SemanticInfoNceLoss(z1, z2, config_.tau),
+                         SemanticInfoNceLoss(z2, z1, config_.tau)),
+                     0.5f);
+  }
+  // RGCL: anchor vs rationale view, complement of rationale as extra
+  // negatives.
+  Tensor s = KeepScores(batch, *head1_);
+  Tensor z_anchor = projection_->Forward(encoder_->EncodeGraphs(batch));
+  Tensor z_rationale = EncodeView(batch, s, config_.aug_ratio, rng);
+  Tensor z_complement =
+      EncodeView(batch, AddScalar(Neg(s), 1.0f), 1.0f - config_.aug_ratio,
+                 rng);
+  Tensor loss = SemanticInfoNceLoss(z_anchor, z_rationale, config_.tau);
+  return Add(loss, MulScalar(ComplementLoss(z_anchor, z_rationale,
+                                            z_complement, config_.tau),
+                             0.1f));
+}
+
+std::vector<float> LearnableViewBaseline::NodeKeepProbs(
+    const Graph& graph) const {
+  GraphBatch batch = GraphBatch::FromGraphPtrs({&graph});
+  Tensor s = KeepScores(batch, *head1_).Detach();
+  std::vector<float> out(static_cast<size_t>(graph.num_nodes()));
+  for (int64_t v = 0; v < graph.num_nodes(); ++v) out[v] = s.At(v, 0);
+  return out;
+}
+
+}  // namespace sgcl

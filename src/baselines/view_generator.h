@@ -1,0 +1,55 @@
+// Learnable-view-generator baselines: AutoGCL (Yin et al., AAAI'22) and
+// RGCL (Li et al., ICML'22).
+//
+// Both learn per-node keep probabilities from a generator GNN — the
+// "node probability distribution" family that SGCL's Fig. 1 argues can
+// misjudge semantics. AutoGCL contrasts two independently generated
+// views; RGCL contrasts the anchor with a rationale view and uses the
+// complement of the rationale as extra negatives. Neither sees Lipschitz
+// constants, which is exactly the "SGCL w/o LGA" regime.
+#ifndef SGCL_BASELINES_VIEW_GENERATOR_H_
+#define SGCL_BASELINES_VIEW_GENERATOR_H_
+
+#include <memory>
+
+#include "baselines/pretrainer.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace sgcl {
+
+enum class ViewGenVariant { kAutoGcl, kRgcl };
+
+class LearnableViewBaseline : public GclPretrainerBase {
+ public:
+  LearnableViewBaseline(const BaselineConfig& config, ViewGenVariant variant);
+
+  std::vector<Tensor> TrainableParameters() const override;
+
+  // Per-node keep probabilities of `graph` under the current generator —
+  // the quantity visualized against Lipschitz constants in Fig. 7.
+  std::vector<float> NodeKeepProbs(const Graph& graph) const;
+
+ protected:
+  Tensor BatchLoss(const std::vector<const Graph*>& graphs,
+                   Rng* rng) override;
+
+ private:
+  // Keep scores on tape for one generator head. [N, 1].
+  Tensor KeepScores(const GraphBatch& batch, const Linear& head) const;
+
+  // Samples a hard keep mask from scores (drop `ratio` of nodes weighted
+  // by 1 - score) and returns the soft-masked projected embedding.
+  Tensor EncodeView(const GraphBatch& batch, const Tensor& scores, float ratio,
+                    Rng* rng) const;
+
+  ViewGenVariant variant_;
+  std::unique_ptr<GnnEncoder> generator_gnn_;
+  std::unique_ptr<Linear> head1_;
+  std::unique_ptr<Linear> head2_;  // AutoGCL's second view generator
+  std::unique_ptr<Mlp> projection_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_BASELINES_VIEW_GENERATOR_H_

@@ -1,0 +1,46 @@
+// Invariant-checking macros.
+//
+// SGCL_CHECK* macros abort the process with a diagnostic when an internal
+// invariant is violated. They are for programming errors only; recoverable
+// conditions (bad user input, malformed configs) must use Status/Result
+// from "common/status.h" instead.
+#ifndef SGCL_COMMON_CHECK_H_
+#define SGCL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sgcl::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "SGCL_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace sgcl::internal
+
+#define SGCL_CHECK(expr)                                   \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::sgcl::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                      \
+  } while (0)
+
+#define SGCL_CHECK_OP(a, op, b) SGCL_CHECK((a)op(b))
+#define SGCL_CHECK_EQ(a, b) SGCL_CHECK_OP(a, ==, b)
+#define SGCL_CHECK_NE(a, b) SGCL_CHECK_OP(a, !=, b)
+#define SGCL_CHECK_LT(a, b) SGCL_CHECK_OP(a, <, b)
+#define SGCL_CHECK_LE(a, b) SGCL_CHECK_OP(a, <=, b)
+#define SGCL_CHECK_GT(a, b) SGCL_CHECK_OP(a, >, b)
+#define SGCL_CHECK_GE(a, b) SGCL_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define SGCL_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define SGCL_DCHECK(expr) SGCL_CHECK(expr)
+#endif
+
+#endif  // SGCL_COMMON_CHECK_H_

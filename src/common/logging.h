@@ -1,0 +1,48 @@
+// Minimal leveled logger writing to stderr.
+//
+// Usage: SGCL_LOG(INFO) << "epoch " << e << " loss " << loss;
+// The global threshold defaults to INFO and can be raised (e.g. in benches)
+// via SetLogLevel.
+#ifndef SGCL_COMMON_LOGGING_H_
+#define SGCL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sgcl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sgcl
+
+#define SGCL_LOG_DEBUG ::sgcl::LogLevel::kDebug
+#define SGCL_LOG_INFO ::sgcl::LogLevel::kInfo
+#define SGCL_LOG_WARNING ::sgcl::LogLevel::kWarning
+#define SGCL_LOG_ERROR ::sgcl::LogLevel::kError
+
+#define SGCL_LOG(severity)                                              \
+  ::sgcl::internal::LogMessage(SGCL_LOG_##severity, __FILE__, __LINE__) \
+      .stream()
+
+#endif  // SGCL_COMMON_LOGGING_H_

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for coarse phase timing in examples and benches.
+#ifndef SGCL_COMMON_STOPWATCH_H_
+#define SGCL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sgcl {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_COMMON_STOPWATCH_H_

@@ -1,0 +1,63 @@
+#include "core/contrastive_loss.h"
+
+#include "tensor/ops.h"
+
+namespace sgcl {
+namespace {
+
+// Row-wise similarity matrix of L2-normalized embeddings, scaled by 1/tau.
+Tensor ScaledCosineSim(const Tensor& a, const Tensor& b, float tau) {
+  SGCL_CHECK_GT(tau, 0.0f);
+  return MulScalar(MatMulTransB(RowL2Normalize(a), RowL2Normalize(b)),
+                   1.0f / tau);
+}
+
+// Diagonal of a square matrix as a [B,1] column.
+Tensor DiagColumn(const Tensor& m) {
+  const int64_t b = m.rows();
+  SGCL_CHECK_EQ(b, m.cols());
+  std::vector<float> eye(static_cast<size_t>(b * b), 0.0f);
+  for (int64_t i = 0; i < b; ++i) eye[i * b + i] = 1.0f;
+  Tensor identity = Tensor::FromVector({b, b}, std::move(eye));
+  return RowSum(Mul(m, identity));
+}
+
+}  // namespace
+
+Tensor SemanticInfoNceLoss(const Tensor& z_anchor, const Tensor& z_sample,
+                           float tau) {
+  SGCL_CHECK(z_anchor.shape() == z_sample.shape());
+  const int64_t b = z_anchor.rows();
+  SGCL_CHECK_GE(b, 2);
+  Tensor sim = ScaledCosineSim(z_anchor, z_sample, tau);  // [B,B]
+  Tensor pos = DiagColumn(sim);                            // [B,1]
+  // Off-diagonal mask for the Eq. 24 denominator (j != i).
+  std::vector<float> off(static_cast<size_t>(b * b), 1.0f);
+  for (int64_t i = 0; i < b; ++i) off[i * b + i] = 0.0f;
+  Tensor off_mask = Tensor::FromVector({b, b}, std::move(off));
+  // Cosine/tau scores are bounded (|s| <= 1/tau), so a plain exp-sum is
+  // numerically safe without a max-shift.
+  Tensor denom = RowSum(Mul(Exp(sim), off_mask));          // [B,1]
+  return Mean(Sub(Log(denom), pos));
+}
+
+Tensor ComplementLoss(const Tensor& z_anchor, const Tensor& z_sample,
+                      const Tensor& z_complement, float tau) {
+  SGCL_CHECK(z_anchor.shape() == z_sample.shape());
+  SGCL_CHECK_EQ(z_anchor.cols(), z_complement.cols());
+  Tensor pos = DiagColumn(ScaledCosineSim(z_anchor, z_sample, tau));  // [B,1]
+  Tensor sim_c = ScaledCosineSim(z_anchor, z_complement, tau);  // [B,Bc]
+  Tensor denom = Add(Exp(pos), RowSum(Exp(sim_c)));             // [B,1]
+  return Mean(Sub(Log(denom), pos));
+}
+
+Tensor WeightNormRegularizer(const std::vector<Tensor>& weights) {
+  SGCL_CHECK(!weights.empty());
+  Tensor total = FrobeniusNorm(weights[0]);
+  for (size_t i = 1; i < weights.size(); ++i) {
+    total = Add(total, FrobeniusNorm(weights[i]));
+  }
+  return total;
+}
+
+}  // namespace sgcl

@@ -1,0 +1,29 @@
+// Semantic-aware contrastive objectives (paper §IV-D, Eq. 24-27).
+#ifndef SGCL_CORE_CONTRASTIVE_LOSS_H_
+#define SGCL_CORE_CONTRASTIVE_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sgcl {
+
+// InfoNCE over a batch (Eq. 24): for each anchor z_G[i], the positive is
+// z_hat[i] and the negatives are z_hat[j], j != i. Embeddings are
+// L2-normalized inside (cosine similarities) for numerical stability of
+// exp(z^T z / tau). Requires batch size >= 2 and tau > 0.
+Tensor SemanticInfoNceLoss(const Tensor& z_anchor, const Tensor& z_sample,
+                           float tau);
+
+// Complement loss (Eq. 25): the positive is z_hat[i]; negatives are all
+// complement-view embeddings z_c[j] (every row of z_complement).
+Tensor ComplementLoss(const Tensor& z_anchor, const Tensor& z_sample,
+                      const Tensor& z_complement, float tau);
+
+// Weight regularizer Θ_W = ||W|| (Eq. 26): the Frobenius norm of each
+// parameter matrix, summed.
+Tensor WeightNormRegularizer(const std::vector<Tensor>& weights);
+
+}  // namespace sgcl
+
+#endif  // SGCL_CORE_CONTRASTIVE_LOSS_H_

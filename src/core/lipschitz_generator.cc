@@ -1,0 +1,150 @@
+#include "core/lipschitz_generator.h"
+
+#include <cmath>
+
+namespace sgcl {
+
+float NodeDropTopologyDistance(int64_t degree, bool has_self_loop) {
+  // Dropping node r zeroes row r and column r of A. Each incident edge
+  // {r, j}, j != r contributes two unit entries; a self-loop contributes
+  // one diagonal entry.
+  const int64_t off_diag = degree - (has_self_loop ? 1 : 0);
+  const float sq = 2.0f * static_cast<float>(off_diag) +
+                   (has_self_loop ? 1.0f : 0.0f);
+  return std::max(1.0f, std::sqrt(sq));
+}
+
+LipschitzGenerator::LipschitzGenerator(const GnnEncoder* encoder,
+                                       LipschitzMode mode)
+    : encoder_(encoder), mode_(mode) {
+  SGCL_CHECK(encoder != nullptr);
+}
+
+std::vector<float> LipschitzGenerator::ComputeConstants(
+    const std::vector<const Graph*>& graphs) const {
+  if (mode_ == LipschitzMode::kAttentionApprox) {
+    return ApproxConstants(graphs);
+  }
+  std::vector<float> all;
+  for (const Graph* g : graphs) {
+    std::vector<float> k = ExactConstants(*g);
+    all.insert(all.end(), k.begin(), k.end());
+  }
+  return all;
+}
+
+std::vector<float> LipschitzGenerator::ComputeConstants(
+    const Graph& graph) const {
+  return ComputeConstants(std::vector<const Graph*>{&graph});
+}
+
+std::vector<float> LipschitzGenerator::ExactConstants(
+    const Graph& graph) const {
+  const int64_t n = graph.num_nodes();
+  std::vector<float> constants(static_cast<size_t>(n), 0.0f);
+  if (n == 0) return constants;
+  GraphBatch base = GraphBatch::FromGraphPtrs({&graph});
+  const Tensor h = encoder_->EncodeNodes(base.features, base).Detach();
+  const int64_t d = h.cols();
+  const std::vector<int64_t> deg = graph.Degrees();
+  for (int64_t r = 0; r < n; ++r) {
+    // Masked view: node r's features zeroed and its edges removed
+    // (Eq. 13-14 realized structurally, which for sum aggregators is the
+    // same as multiplying messages by the mask).
+    GraphBatch masked = base;
+    std::vector<float> feats(base.features.values());
+    for (int64_t j = 0; j < graph.feat_dim(); ++j) {
+      feats[r * graph.feat_dim() + j] = 0.0f;
+    }
+    masked.features =
+        Tensor::FromVector({n, graph.feat_dim()}, std::move(feats));
+    masked.edge_src.clear();
+    masked.edge_dst.clear();
+    for (size_t e = 0; e < base.edge_src.size(); ++e) {
+      if (base.edge_src[e] == r || base.edge_dst[e] == r) continue;
+      masked.edge_src.push_back(base.edge_src[e]);
+      masked.edge_dst.push_back(base.edge_dst[e]);
+    }
+    const Tensor h_masked =
+        encoder_->EncodeNodes(masked.features, masked).Detach();
+    double sq = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      // The dropped node's own representation is excluded on both sides:
+      // the perturbation mask (Eq. 13) zeroes row r in Ĥ_r, so row r
+      // contributes ||h_r||^2.
+      for (int64_t j = 0; j < d; ++j) {
+        const float hv = h.At(i, j);
+        const float mv = (i == r) ? 0.0f : h_masked.At(i, j);
+        const float delta = hv - mv;
+        sq += static_cast<double>(delta) * delta;
+      }
+    }
+    const float dr = static_cast<float>(std::sqrt(sq));
+    const float dt = NodeDropTopologyDistance(deg[r], graph.HasEdge(r, r));
+    constants[r] = dr / dt;
+  }
+  return constants;
+}
+
+std::vector<float> LipschitzGenerator::ApproxConstants(
+    const std::vector<const Graph*>& graphs) const {
+  GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  std::vector<float> constants(static_cast<size_t>(batch.num_nodes), 0.0f);
+  if (batch.num_nodes == 0) return constants;
+  const Tensor h = encoder_->EncodeNodes(batch.features, batch).Detach();
+  const int64_t n = batch.num_nodes, d = h.cols();
+  // Row norms of the final representations.
+  std::vector<float> row_norm(static_cast<size_t>(n), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    double sq = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      sq += static_cast<double>(h.At(i, j)) * h.At(i, j);
+    }
+    row_norm[i] = static_cast<float>(std::sqrt(sq));
+  }
+  const int64_t e = static_cast<int64_t>(batch.edge_src.size());
+  // Attention weight of edge (r -> i): softmax over i's in-edges of the
+  // scaled dot product h_r . h_i / sqrt(d) — the share of i's
+  // representation attributable to r (§V's attention optimization).
+  std::vector<float> scores(static_cast<size_t>(e));
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+  for (int64_t r = 0; r < e; ++r) {
+    const int64_t src = batch.edge_src[r], dst = batch.edge_dst[r];
+    double dot = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      dot += static_cast<double>(h.At(src, j)) * h.At(dst, j);
+    }
+    scores[r] = static_cast<float>(dot) * inv_sqrt_d;
+  }
+  // Segment-softmax by destination (plain arrays; no autograd needed).
+  std::vector<float> seg_max(static_cast<size_t>(n), -3.4e38f);
+  for (int64_t r = 0; r < e; ++r) {
+    seg_max[batch.edge_dst[r]] =
+        std::max(seg_max[batch.edge_dst[r]], scores[r]);
+  }
+  std::vector<float> seg_sum(static_cast<size_t>(n), 0.0f);
+  for (int64_t r = 0; r < e; ++r) {
+    scores[r] = std::exp(scores[r] - seg_max[batch.edge_dst[r]]);
+    seg_sum[batch.edge_dst[r]] += scores[r];
+  }
+  // Accumulate squared representation displacement per source node:
+  //   D_R(G, Ĝ_r)^2 ≈ ||h_r||^2 + sum_{i in N(r)} (alpha_{ri} ||h_i||)^2.
+  std::vector<double> disp_sq(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    disp_sq[i] = static_cast<double>(row_norm[i]) * row_norm[i];
+  }
+  for (int64_t r = 0; r < e; ++r) {
+    const int64_t src = batch.edge_src[r], dst = batch.edge_dst[r];
+    const float alpha = scores[r] / std::max(seg_sum[dst], 1e-12f);
+    const double contrib = static_cast<double>(alpha) * row_norm[dst];
+    disp_sq[src] += contrib * contrib;
+  }
+  std::vector<int64_t> deg = batch.Degrees();
+  for (int64_t v = 0; v < n; ++v) {
+    const float dt = NodeDropTopologyDistance(deg[v], /*has_self_loop=*/false);
+    constants[v] = static_cast<float>(std::sqrt(disp_sq[v])) / dt;
+  }
+  return constants;
+}
+
+}  // namespace sgcl

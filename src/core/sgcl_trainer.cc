@@ -1,0 +1,54 @@
+#include "core/sgcl_trainer.h"
+
+#include "common/logging.h"
+
+namespace sgcl {
+
+SgclTrainer::SgclTrainer(const SgclConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  model_ = std::make_unique<SgclModel>(config_, &rng_);
+  optimizer_ = std::make_unique<Adam>(model_->Parameters(),
+                                      config_.learning_rate);
+}
+
+PretrainStats SgclTrainer::Pretrain(const GraphDataset& dataset,
+                                    const std::vector<int64_t>& indices) {
+  std::vector<int64_t> order = indices;
+  if (order.empty()) {
+    order.resize(dataset.size());
+    for (int64_t i = 0; i < dataset.size(); ++i) order[i] = i;
+  }
+  SGCL_CHECK_GE(order.size(), 2u);
+  PretrainStats stats;
+  stats.epoch_losses.reserve(config_.epochs);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (size_t start = 0; start + 1 < order.size();
+         start += config_.batch_size) {
+      const size_t end =
+          std::min(order.size(), start + config_.batch_size);
+      if (end - start < 2) break;
+      std::vector<const Graph*> batch;
+      batch.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        batch.push_back(&dataset.graph(order[i]));
+      }
+      optimizer_->ZeroGrad();
+      Tensor loss = model_->ComputeLoss(batch, &rng_);
+      loss.Backward();
+      optimizer_->ClipGradNorm(config_.grad_clip);
+      optimizer_->Step();
+      epoch_loss += loss.item();
+      ++batches;
+    }
+    const float mean_loss =
+        batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
+    stats.epoch_losses.push_back(mean_loss);
+    SGCL_LOG(DEBUG) << "pretrain epoch " << epoch << " loss " << mean_loss;
+  }
+  return stats;
+}
+
+}  // namespace sgcl

@@ -1,0 +1,40 @@
+// Self-supervised pretraining loop for SGCL.
+#ifndef SGCL_CORE_SGCL_TRAINER_H_
+#define SGCL_CORE_SGCL_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/sgcl_model.h"
+#include "graph/dataset.h"
+#include "tensor/optimizer.h"
+
+namespace sgcl {
+
+struct PretrainStats {
+  std::vector<float> epoch_losses;  // mean minibatch loss per epoch
+};
+
+class SgclTrainer {
+ public:
+  SgclTrainer(const SgclConfig& config, uint64_t seed);
+
+  // Runs config.epochs of Adam over shuffled minibatches of `graphs`
+  // (indices into `dataset`; empty = all graphs). Minibatches with fewer
+  // than 2 graphs are skipped (InfoNCE needs a negative).
+  PretrainStats Pretrain(const GraphDataset& dataset,
+                         const std::vector<int64_t>& indices = {});
+
+  SgclModel& model() { return *model_; }
+  const SgclModel& model() const { return *model_; }
+
+ private:
+  SgclConfig config_;
+  Rng rng_;
+  std::unique_ptr<SgclModel> model_;
+  std::unique_ptr<Adam> optimizer_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_CORE_SGCL_TRAINER_H_

@@ -1,0 +1,132 @@
+#include "data/motif.h"
+
+namespace sgcl {
+namespace {
+
+void FillTypes(Motif* m, int node_type) {
+  m->node_types.assign(m->num_nodes, node_type);
+}
+
+}  // namespace
+
+Motif MakeCycleMotif(int k, int node_type) {
+  SGCL_CHECK_GE(k, 3);
+  Motif m;
+  m.name = "cycle" + std::to_string(k);
+  m.num_nodes = k;
+  for (int i = 0; i < k; ++i) m.edges.emplace_back(i, (i + 1) % k);
+  FillTypes(&m, node_type);
+  return m;
+}
+
+Motif MakePathMotif(int k, int node_type) {
+  SGCL_CHECK_GE(k, 2);
+  Motif m;
+  m.name = "path" + std::to_string(k);
+  m.num_nodes = k;
+  for (int i = 0; i + 1 < k; ++i) m.edges.emplace_back(i, i + 1);
+  FillTypes(&m, node_type);
+  return m;
+}
+
+Motif MakeCliqueMotif(int k, int node_type) {
+  SGCL_CHECK_GE(k, 3);
+  Motif m;
+  m.name = "clique" + std::to_string(k);
+  m.num_nodes = k;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) m.edges.emplace_back(i, j);
+  }
+  FillTypes(&m, node_type);
+  return m;
+}
+
+Motif MakeStarMotif(int k, int node_type) {
+  SGCL_CHECK_GE(k, 2);
+  Motif m;
+  m.name = "star" + std::to_string(k);
+  m.num_nodes = k + 1;
+  for (int i = 1; i <= k; ++i) m.edges.emplace_back(0, i);
+  m.node_types.assign(m.num_nodes, node_type + 1);
+  m.node_types[0] = node_type;
+  return m;
+}
+
+Motif MakeWheelMotif(int k, int node_type) {
+  SGCL_CHECK_GE(k, 3);
+  Motif m = MakeCycleMotif(k, node_type);
+  m.name = "wheel" + std::to_string(k);
+  const int hub = m.num_nodes;
+  m.num_nodes += 1;
+  for (int i = 0; i < k; ++i) m.edges.emplace_back(hub, i);
+  m.node_types.push_back(node_type);
+  return m;
+}
+
+Motif MakeBipartiteMotif(int a, int b, int node_type) {
+  SGCL_CHECK_GE(a, 1);
+  SGCL_CHECK_GE(b, 1);
+  Motif m;
+  m.name = "bipartite" + std::to_string(a) + "x" + std::to_string(b);
+  m.num_nodes = a + b;
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b; ++j) m.edges.emplace_back(i, a + j);
+  }
+  m.node_types.assign(m.num_nodes, node_type);
+  for (int j = 0; j < b; ++j) m.node_types[a + j] = node_type + 1;
+  return m;
+}
+
+MotifCatalog::MotifCatalog(int max_node_type) {
+  SGCL_CHECK_GE(max_node_type, 3);
+  // Pairs with identical type histograms but different structure are
+  // adjacent: (cycle5, path5), (clique4, wheel3 = K4), (star4, bipartite),
+  // so class boundaries hinge on topology, not node-type counts.
+  auto t = [max_node_type](int x) { return x % (max_node_type - 1); };
+  motifs_.push_back(MakeCycleMotif(5, t(0)));
+  motifs_.push_back(MakePathMotif(5, t(0)));
+  motifs_.push_back(MakeCliqueMotif(4, t(1)));
+  motifs_.push_back(MakeCycleMotif(4, t(1)));
+  motifs_.push_back(MakeStarMotif(4, t(2)));
+  motifs_.push_back(MakeBipartiteMotif(2, 3, t(2)));
+  motifs_.push_back(MakeWheelMotif(5, t(3)));
+  motifs_.push_back(MakeCycleMotif(6, t(3)));
+  motifs_.push_back(MakeCliqueMotif(5, t(4)));
+  motifs_.push_back(MakeStarMotif(5, t(4)));
+  motifs_.push_back(MakePathMotif(6, t(5)));
+  motifs_.push_back(MakeBipartiteMotif(3, 3, t(5)));
+}
+
+std::vector<int64_t> PlantMotif(const Motif& motif, int num_bridges, Rng* rng,
+                                Graph* g, std::vector<uint8_t>* semantic_mask) {
+  SGCL_CHECK(g != nullptr);
+  SGCL_CHECK(rng != nullptr);
+  SGCL_CHECK(semantic_mask != nullptr);
+  SGCL_CHECK_GT(g->feat_dim(), 0);
+  const int64_t background_nodes = g->num_nodes();
+  const int64_t first = g->AddNodes(motif.num_nodes);
+  std::vector<int64_t> planted;
+  planted.reserve(motif.num_nodes);
+  for (int i = 0; i < motif.num_nodes; ++i) {
+    const int64_t v = first + i;
+    planted.push_back(v);
+    const int type = motif.node_types[i];
+    SGCL_CHECK_LT(type, g->feat_dim());
+    g->set_feature(v, type, 1.0f);
+  }
+  for (const auto& [a, b] : motif.edges) {
+    g->AddUndirectedEdge(first + a, first + b);
+  }
+  if (background_nodes > 0) {
+    for (int i = 0; i < num_bridges; ++i) {
+      const int64_t bg = rng->UniformInt(background_nodes);
+      const int64_t mn = planted[rng->UniformInt(motif.num_nodes)];
+      g->AddUndirectedEdge(bg, mn);
+    }
+  }
+  semantic_mask->resize(static_cast<size_t>(g->num_nodes()), 0);
+  for (int64_t v : planted) (*semantic_mask)[v] = 1;
+  return planted;
+}
+
+}  // namespace sgcl

@@ -1,0 +1,68 @@
+// Motif library for planted-semantics graph generation.
+//
+// A motif is a small labeled pattern (cycle, clique, star, path, wheel,
+// complete bipartite, ...). Synthetic datasets plant class-determining
+// motifs into background graphs; the motif's nodes are recorded in the
+// graph's semantic mask so experiments can verify that SGCL's Lipschitz
+// constants recover them (paper Fig. 7 / RQ5).
+#ifndef SGCL_DATA_MOTIF_H_
+#define SGCL_DATA_MOTIF_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace sgcl {
+
+struct Motif {
+  std::string name;
+  int num_nodes = 0;
+  // Undirected edges over [0, num_nodes).
+  std::vector<std::pair<int, int>> edges;
+  // Per-node type id (an index into the dataset's one-hot feature space).
+  std::vector<int> node_types;
+};
+
+// Structural constructors. `node_type` is assigned to every motif node.
+Motif MakeCycleMotif(int k, int node_type);
+Motif MakePathMotif(int k, int node_type);
+Motif MakeCliqueMotif(int k, int node_type);
+// A star with `k` leaves (k+1 nodes); the hub gets `node_type`,
+// leaves get `node_type + 1`.
+Motif MakeStarMotif(int k, int node_type);
+// A wheel: cycle of k nodes plus a hub connected to all of them.
+Motif MakeWheelMotif(int k, int node_type);
+// Complete bipartite K_{a,b}; sides typed `node_type` / `node_type + 1`.
+Motif MakeBipartiteMotif(int a, int b, int node_type);
+
+// A deterministic catalog of structurally diverse motifs; `Get(i)` wraps
+// around so any class count can be served. Motifs are arranged so that
+// adjacent catalog entries share node types but differ in structure —
+// type histograms alone cannot separate classes, the failure mode that
+// motivates semantic-aware augmentation (paper Fig. 1).
+class MotifCatalog {
+ public:
+  // `max_node_type` bounds the type ids used (exclusive).
+  explicit MotifCatalog(int max_node_type);
+
+  int size() const { return static_cast<int>(motifs_.size()); }
+  const Motif& Get(int i) const { return motifs_[i % motifs_.size()]; }
+
+ private:
+  std::vector<Motif> motifs_;
+};
+
+// Appends `motif` to `g` (which must have one-hot features of width
+// >= max type id + 1), connects it to `num_bridges` random existing nodes,
+// and marks the new nodes in `semantic_mask` (resized to match g).
+// Returns the new nodes' indices. When g is empty the motif stands alone.
+std::vector<int64_t> PlantMotif(const Motif& motif, int num_bridges, Rng* rng,
+                                Graph* g, std::vector<uint8_t>* semantic_mask);
+
+}  // namespace sgcl
+
+#endif  // SGCL_DATA_MOTIF_H_

@@ -1,0 +1,153 @@
+#include "data/superpixel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgcl {
+namespace {
+
+// Seven-segment layout on a logical 0..1 square:
+//   A: top, B: top-right, C: bottom-right, D: bottom, E: bottom-left,
+//   F: top-left, G: middle.
+struct Segment {
+  float x0, y0, x1, y1;
+};
+
+constexpr Segment kSegments[7] = {
+    {0.2f, 0.1f, 0.8f, 0.1f},  // A
+    {0.8f, 0.1f, 0.8f, 0.5f},  // B
+    {0.8f, 0.5f, 0.8f, 0.9f},  // C
+    {0.2f, 0.9f, 0.8f, 0.9f},  // D
+    {0.2f, 0.5f, 0.2f, 0.9f},  // E
+    {0.2f, 0.1f, 0.2f, 0.5f},  // F
+    {0.2f, 0.5f, 0.8f, 0.5f},  // G
+};
+
+// Active segments per digit (A..G).
+constexpr uint8_t kDigitSegments[10] = {
+    0b1111110,  // 0: ABCDEF
+    0b0110000,  // 1: BC
+    0b1101101,  // 2: ABDEG
+    0b1111001,  // 3: ABCDG
+    0b0110011,  // 4: BCFG
+    0b1011011,  // 5: ACDFG
+    0b1011111,  // 6: ACDEFG
+    0b1110000,  // 7: ABC
+    0b1111111,  // 8
+    0b1111011,  // 9: ABCDFG
+};
+
+void DrawSegment(const Segment& seg, float dx, float dy, float thickness,
+                 std::array<float, kCanvasSize * kCanvasSize>* canvas) {
+  const float scale = static_cast<float>(kCanvasSize - 1);
+  const float x0 = (seg.x0 + dx) * scale, y0 = (seg.y0 + dy) * scale;
+  const float x1 = (seg.x1 + dx) * scale, y1 = (seg.y1 + dy) * scale;
+  const int steps = 2 * kCanvasSize;
+  for (int s = 0; s <= steps; ++s) {
+    const float t = static_cast<float>(s) / static_cast<float>(steps);
+    const float cx = x0 + t * (x1 - x0);
+    const float cy = y0 + t * (y1 - y0);
+    const int lo_x = std::max(0, static_cast<int>(cx - thickness));
+    const int hi_x = std::min(kCanvasSize - 1, static_cast<int>(cx + thickness));
+    const int lo_y = std::max(0, static_cast<int>(cy - thickness));
+    const int hi_y = std::min(kCanvasSize - 1, static_cast<int>(cy + thickness));
+    for (int py = lo_y; py <= hi_y; ++py) {
+      for (int px = lo_x; px <= hi_x; ++px) {
+        const float d = std::hypot(static_cast<float>(px) - cx,
+                                   static_cast<float>(py) - cy);
+        if (d <= thickness) {
+          const float v = 1.0f - 0.4f * (d / thickness);
+          auto& cell = (*canvas)[py * kCanvasSize + px];
+          cell = std::max(cell, v);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::array<float, kCanvasSize * kCanvasSize> RasterizeDigit(int digit,
+                                                            Rng* rng) {
+  SGCL_CHECK(digit >= 0 && digit < 10);
+  SGCL_CHECK(rng != nullptr);
+  std::array<float, kCanvasSize * kCanvasSize> canvas{};
+  const float dx = static_cast<float>(rng->Uniform(-0.06, 0.06));
+  const float dy = static_cast<float>(rng->Uniform(-0.06, 0.06));
+  const float thickness = static_cast<float>(rng->Uniform(1.4, 2.2));
+  for (int s = 0; s < 7; ++s) {
+    if (kDigitSegments[digit] & (1 << (6 - s))) {
+      DrawSegment(kSegments[s], dx, dy, thickness, &canvas);
+    }
+  }
+  // Background speckle noise.
+  for (auto& v : canvas) {
+    if (rng->Bernoulli(0.02)) v = std::max(v, 0.15f);
+  }
+  return canvas;
+}
+
+Graph CanvasToSuperpixelGraph(
+    const std::array<float, kCanvasSize * kCanvasSize>& canvas,
+    float semantic_threshold) {
+  constexpr int cell = kCanvasSize / kSuperpixelGrid;
+  const int n = kSuperpixelGrid * kSuperpixelGrid;
+  Graph g(n, kSuperpixelFeatDim);
+  std::vector<uint8_t> mask(static_cast<size_t>(n), 0);
+  for (int gy = 0; gy < kSuperpixelGrid; ++gy) {
+    for (int gx = 0; gx < kSuperpixelGrid; ++gx) {
+      const int node = gy * kSuperpixelGrid + gx;
+      float total = 0.0f;
+      for (int py = gy * cell; py < (gy + 1) * cell; ++py) {
+        for (int px = gx * cell; px < (gx + 1) * cell; ++px) {
+          total += canvas[py * kCanvasSize + px];
+        }
+      }
+      const float intensity = total / static_cast<float>(cell * cell);
+      // Intensity is the primary signal (as in MNIST-superpixel);
+      // coordinates are auxiliary and down-weighted so they do not
+      // drown the semantic channel.
+      g.set_feature(node, 0, 2.0f * intensity);
+      g.set_feature(node, 1,
+                    0.3f * static_cast<float>(gx) / (kSuperpixelGrid - 1));
+      g.set_feature(node, 2,
+                    0.3f * static_cast<float>(gy) / (kSuperpixelGrid - 1));
+      if (intensity > semantic_threshold) mask[node] = 1;
+    }
+  }
+  // 8-neighborhood grid adjacency.
+  for (int gy = 0; gy < kSuperpixelGrid; ++gy) {
+    for (int gx = 0; gx < kSuperpixelGrid; ++gx) {
+      const int node = gy * kSuperpixelGrid + gx;
+      for (int oy = 0; oy <= 1; ++oy) {
+        for (int ox = -1; ox <= 1; ++ox) {
+          if (oy == 0 && ox <= 0) continue;  // visit each pair once
+          const int nx = gx + ox, ny = gy + oy;
+          if (nx < 0 || nx >= kSuperpixelGrid || ny >= kSuperpixelGrid) {
+            continue;
+          }
+          g.AddUndirectedEdge(node, ny * kSuperpixelGrid + nx);
+        }
+      }
+    }
+  }
+  g.set_semantic_mask(std::move(mask));
+  return g;
+}
+
+GraphDataset MakeSuperpixelDataset(int per_digit, uint64_t seed) {
+  SGCL_CHECK_GT(per_digit, 0);
+  Rng rng(seed ^ 0xd161a1ULL);
+  GraphDataset ds("MNIST-superpixel-like", /*num_classes=*/10);
+  ds.Reserve(10 * per_digit);
+  for (int digit = 0; digit < 10; ++digit) {
+    for (int i = 0; i < per_digit; ++i) {
+      Graph g = CanvasToSuperpixelGraph(RasterizeDigit(digit, &rng));
+      g.set_label(digit);
+      ds.Add(std::move(g));
+    }
+  }
+  return ds;
+}
+
+}  // namespace sgcl

@@ -1,0 +1,40 @@
+// MNIST-superpixel-like digit graphs (paper Fig. 7 substitution).
+//
+// Digits 0-9 are rasterized from seven-segment strokes onto a 28x28
+// canvas with per-sample jitter, then coarsened into a grid of
+// superpixels. Node features are [mean intensity, x, y]; edges connect
+// 8-neighboring superpixels. Ground-truth semantic nodes are the
+// superpixels covering stroke pixels, which is what the visualization
+// experiment compares Lipschitz constants against.
+#ifndef SGCL_DATA_SUPERPIXEL_H_
+#define SGCL_DATA_SUPERPIXEL_H_
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dataset.h"
+
+namespace sgcl {
+
+inline constexpr int kCanvasSize = 28;
+inline constexpr int kSuperpixelGrid = 7;   // 7x7 = 49 superpixels
+inline constexpr int kSuperpixelFeatDim = 3;
+
+// Rasterizes digit `digit` (0-9) with jitter into a kCanvasSize^2 canvas
+// of intensities in [0, 1].
+std::array<float, kCanvasSize * kCanvasSize> RasterizeDigit(int digit,
+                                                            Rng* rng);
+
+// Converts a canvas to a superpixel graph. Superpixels with mean
+// intensity above `semantic_threshold` are marked semantic.
+Graph CanvasToSuperpixelGraph(
+    const std::array<float, kCanvasSize * kCanvasSize>& canvas,
+    float semantic_threshold = 0.25f);
+
+// `per_digit` samples of each of the 10 digits (labels = digit).
+GraphDataset MakeSuperpixelDataset(int per_digit, uint64_t seed);
+
+}  // namespace sgcl
+
+#endif  // SGCL_DATA_SUPERPIXEL_H_

@@ -1,0 +1,152 @@
+#include "eval/finetune.h"
+
+#include "eval/metrics.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace sgcl {
+namespace {
+
+std::vector<const Graph*> Gather(const GraphDataset& dataset,
+                                 const std::vector<int64_t>& idx,
+                                 size_t start, size_t end) {
+  std::vector<const Graph*> out;
+  out.reserve(end - start);
+  for (size_t i = start; i < end; ++i) out.push_back(&dataset.graph(idx[i]));
+  return out;
+}
+
+}  // namespace
+
+double FinetuneAndEvalAccuracy(GnnEncoder* encoder,
+                               const GraphDataset& dataset,
+                               const std::vector<int64_t>& train,
+                               const std::vector<int64_t>& test,
+                               const FinetuneConfig& config, Rng* rng) {
+  SGCL_CHECK(encoder != nullptr);
+  SGCL_CHECK(!train.empty());
+  SGCL_CHECK(!test.empty());
+  const int num_classes = dataset.num_classes();
+  Linear head(encoder->config().hidden_dim, num_classes, rng);
+  std::vector<Tensor> params = ConcatParameters({encoder, &head});
+  Adam opt(std::move(params), config.learning_rate);
+  std::vector<int64_t> order = train;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const size_t end = std::min(order.size(),
+                                  start + config.batch_size);
+      auto graphs = Gather(dataset, order, start, end);
+      std::vector<int> labels;
+      labels.reserve(graphs.size());
+      for (const Graph* g : graphs) labels.push_back(g->label());
+      GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+      opt.ZeroGrad();
+      Tensor logits = head.Forward(encoder->EncodeGraphs(batch));
+      Tensor loss = CrossEntropyWithLogits(logits, labels);
+      loss.Backward();
+      opt.ClipGradNorm(config.grad_clip);
+      opt.Step();
+    }
+  }
+  // Evaluation.
+  std::vector<int> preds, truths;
+  for (size_t start = 0; start < test.size(); start += config.batch_size) {
+    const size_t end = std::min(test.size(), start + config.batch_size);
+    auto graphs = Gather(dataset, test, start, end);
+    GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+    Tensor logits = head.Forward(encoder->EncodeGraphs(batch)).Detach();
+    for (int64_t i = 0; i < logits.rows(); ++i) {
+      int best = 0;
+      for (int c = 1; c < num_classes; ++c) {
+        if (logits.At(i, c) > logits.At(i, best)) best = c;
+      }
+      preds.push_back(best);
+      truths.push_back(graphs[i]->label());
+    }
+  }
+  return Accuracy(preds, truths);
+}
+
+double FinetuneAndEvalRocAuc(GnnEncoder* encoder, const GraphDataset& dataset,
+                             const std::vector<int64_t>& train,
+                             const std::vector<int64_t>& test,
+                             const FinetuneConfig& config, Rng* rng) {
+  SGCL_CHECK(encoder != nullptr);
+  SGCL_CHECK(!train.empty());
+  SGCL_CHECK(!test.empty());
+  const int num_tasks = dataset.num_tasks();
+  SGCL_CHECK_GE(num_tasks, 1);
+  Linear head(encoder->config().hidden_dim, num_tasks, rng);
+  std::vector<Tensor> params = ConcatParameters({encoder, &head});
+  Adam opt(std::move(params), config.learning_rate);
+  std::vector<int64_t> order = train;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const size_t end = std::min(order.size(),
+                                  start + config.batch_size);
+      auto graphs = Gather(dataset, order, start, end);
+      const int64_t b = static_cast<int64_t>(graphs.size());
+      std::vector<float> targets(static_cast<size_t>(b * num_tasks), 0.0f);
+      std::vector<float> mask(static_cast<size_t>(b * num_tasks), 0.0f);
+      double valid = 0.0;
+      for (int64_t i = 0; i < b; ++i) {
+        const auto& labels = graphs[i]->task_labels();
+        for (int t = 0; t < num_tasks; ++t) {
+          if (labels[t] >= 0.0f) {
+            targets[i * num_tasks + t] = labels[t];
+            mask[i * num_tasks + t] = 1.0f;
+            valid += 1.0;
+          }
+        }
+      }
+      if (valid == 0.0) continue;  // all labels missing in this batch
+      GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+      opt.ZeroGrad();
+      Tensor logits = head.Forward(encoder->EncodeGraphs(batch));
+      Tensor loss = BceWithLogits(
+          logits, Tensor::FromVector({b, num_tasks}, std::move(targets)),
+          Tensor::FromVector({b, num_tasks}, std::move(mask)));
+      loss.Backward();
+      opt.ClipGradNorm(config.grad_clip);
+      opt.Step();
+    }
+  }
+  // Per-task ROC-AUC over the test split.
+  std::vector<std::vector<double>> scores(num_tasks);
+  std::vector<std::vector<int>> truths(num_tasks);
+  for (size_t start = 0; start < test.size(); start += config.batch_size) {
+    const size_t end = std::min(test.size(), start + config.batch_size);
+    auto graphs = Gather(dataset, test, start, end);
+    GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+    Tensor logits = head.Forward(encoder->EncodeGraphs(batch)).Detach();
+    for (int64_t i = 0; i < logits.rows(); ++i) {
+      const auto& labels = graphs[i]->task_labels();
+      for (int t = 0; t < num_tasks; ++t) {
+        if (labels[t] >= 0.0f) {
+          scores[t].push_back(logits.At(i, t));
+          truths[t].push_back(labels[t] == 1.0f ? 1 : 0);
+        }
+      }
+    }
+  }
+  std::vector<double> aucs;
+  for (int t = 0; t < num_tasks; ++t) {
+    if (truths[t].empty()) continue;
+    int positives = 0;
+    for (int y : truths[t]) positives += y;
+    if (positives == 0 ||
+        positives == static_cast<int>(truths[t].size())) {
+      continue;  // AUC undefined for single-class tasks
+    }
+    aucs.push_back(RocAuc(scores[t], truths[t]));
+  }
+  if (aucs.empty()) return 0.5;
+  return ComputeMeanStd(aucs).mean;
+}
+
+}  // namespace sgcl

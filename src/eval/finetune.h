@@ -1,0 +1,40 @@
+// Supervised fine-tuning of a pretrained encoder: single-task
+// classification heads (semi-supervised protocol, Table VI) and
+// multi-task binary heads with ROC-AUC (transfer protocol, Table IV).
+#ifndef SGCL_EVAL_FINETUNE_H_
+#define SGCL_EVAL_FINETUNE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/dataset.h"
+#include "nn/encoder.h"
+
+namespace sgcl {
+
+struct FinetuneConfig {
+  float learning_rate = 1e-3f;
+  int epochs = 30;
+  int batch_size = 32;
+  float grad_clip = 5.0f;
+};
+
+// Fine-tunes `encoder` (in place) plus a fresh linear head on
+// dataset[train] single-task labels; returns accuracy on dataset[test].
+double FinetuneAndEvalAccuracy(GnnEncoder* encoder,
+                               const GraphDataset& dataset,
+                               const std::vector<int64_t>& train,
+                               const std::vector<int64_t>& test,
+                               const FinetuneConfig& config, Rng* rng);
+
+// Fine-tunes `encoder` plus a multi-task binary head on dataset[train];
+// returns the mean ROC-AUC over tasks with both classes present in
+// dataset[test] (missing labels, -1, are excluded).
+double FinetuneAndEvalRocAuc(GnnEncoder* encoder, const GraphDataset& dataset,
+                             const std::vector<int64_t>& train,
+                             const std::vector<int64_t>& test,
+                             const FinetuneConfig& config, Rng* rng);
+
+}  // namespace sgcl
+
+#endif  // SGCL_EVAL_FINETUNE_H_

@@ -1,0 +1,50 @@
+// Hyperparameter grid search for SGCL over the paper's §VI-A grids
+// (lambda_c, lambda_W, rho, tau), scored by the unsupervised protocol on
+// a validation dataset. The paper tunes "by manually searching"; this
+// utility automates the same sweep.
+#ifndef SGCL_EVAL_GRID_SEARCH_H_
+#define SGCL_EVAL_GRID_SEARCH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sgcl_config.h"
+#include "eval/evaluator.h"
+
+namespace sgcl {
+
+struct GridSearchSpace {
+  // Empty vector = keep the base config's value for that parameter.
+  std::vector<float> lambda_c = {0.0001f, 0.001f, 0.005f, 0.01f, 0.05f, 0.1f};
+  std::vector<float> lambda_w = {0.001f, 0.01f, 0.05f, 0.1f, 0.2f, 0.5f};
+  std::vector<double> rho = {0.5, 0.6, 0.7, 0.8, 0.9};
+  std::vector<float> tau = {0.1f, 0.2f, 0.3f, 0.4f, 0.5f};
+};
+
+struct GridSearchResult {
+  SgclConfig best_config;
+  double best_score = 0.0;
+  // One entry per evaluated configuration: (description, score).
+  std::vector<std::pair<std::string, double>> trials;
+};
+
+// Coordinate-descent sweep: each parameter's grid is scanned in the
+// declared order while the others stay at their current best, exactly
+// one pass (the paper's per-parameter sensitivity protocol rather than
+// the full Cartesian product, which would be |grid|^4 pretrainings).
+// `evaluate` scores a config (higher is better); use
+// MakeUnsupervisedGridEvaluator for the paper's protocol.
+GridSearchResult GridSearchSgcl(
+    const SgclConfig& base, const GridSearchSpace& space,
+    const std::function<double(const SgclConfig&)>& evaluate);
+
+// An evaluate callback running the unsupervised protocol (pretrain on
+// `dataset`, SVM CV accuracy) with the given seed count.
+std::function<double(const SgclConfig&)> MakeUnsupervisedGridEvaluator(
+    const GraphDataset* dataset, int num_seeds, int cv_folds,
+    uint64_t base_seed);
+
+}  // namespace sgcl
+
+#endif  // SGCL_EVAL_GRID_SEARCH_H_

@@ -1,0 +1,107 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sgcl {
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels) {
+  SGCL_CHECK_EQ(predictions.size(), labels.size());
+  SGCL_CHECK(!labels.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    correct += (predictions[i] == labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  SGCL_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  SGCL_CHECK_GT(n, 0u);
+  int64_t positives = 0;
+  for (int y : labels) {
+    SGCL_CHECK(y == 0 || y == 1);
+    positives += y;
+  }
+  const int64_t negatives = static_cast<int64_t>(n) - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  // Midranks of the scores.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  double rank_sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1) rank_sum += ranks[k];
+  }
+  const double u = rank_sum - static_cast<double>(positives) *
+                                  (static_cast<double>(positives) + 1) / 2.0;
+  return u / (static_cast<double>(positives) * negatives);
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  SGCL_CHECK(!values.empty());
+  MeanStd out;
+  for (double v : values) out.mean += v;
+  out.mean /= static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(sq / static_cast<double>(values.size()));
+  return out;
+}
+
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& scores) {
+  SGCL_CHECK(!scores.empty());
+  const size_t methods = scores.size();
+  const size_t datasets = scores[0].size();
+  for (const auto& row : scores) SGCL_CHECK_EQ(row.size(), datasets);
+  std::vector<double> rank_sum(methods, 0.0);
+  std::vector<int> rank_count(methods, 0);
+  for (size_t d = 0; d < datasets; ++d) {
+    // Methods with a valid score on this dataset, sorted descending.
+    std::vector<size_t> valid;
+    for (size_t m = 0; m < methods; ++m) {
+      if (!std::isnan(scores[m][d])) valid.push_back(m);
+    }
+    std::sort(valid.begin(), valid.end(), [&](size_t a, size_t b) {
+      return scores[a][d] > scores[b][d];
+    });
+    size_t i = 0;
+    while (i < valid.size()) {
+      size_t j = i;
+      while (j + 1 < valid.size() &&
+             scores[valid[j + 1]][d] == scores[valid[i]][d]) {
+        ++j;
+      }
+      const double midrank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+      for (size_t k = i; k <= j; ++k) {
+        rank_sum[valid[k]] += midrank;
+        rank_count[valid[k]] += 1;
+      }
+      i = j + 1;
+    }
+  }
+  std::vector<double> out(methods, 0.0);
+  for (size_t m = 0; m < methods; ++m) {
+    out[m] = rank_count[m] > 0 ? rank_sum[m] / rank_count[m]
+                               : std::nan("");
+  }
+  return out;
+}
+
+}  // namespace sgcl

@@ -1,0 +1,35 @@
+// Evaluation metrics: accuracy, ROC-AUC (rank-based, tie-aware),
+// mean/std aggregation, and average rank across methods.
+#ifndef SGCL_EVAL_METRICS_H_
+#define SGCL_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace sgcl {
+
+// Fraction of positions where predictions[i] == labels[i].
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels);
+
+// Area under the ROC curve via the rank statistic (Mann-Whitney U), with
+// midranks for tied scores. labels in {0,1}. Returns 0.5 when one class
+// is absent (undefined AUC, the conventional fallback).
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;  // population std
+};
+
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+// Average rank per method given a score matrix scores[method][dataset]
+// (higher is better). Missing entries marked NaN are skipped for that
+// dataset. Ties share the average rank, as in the paper's A.R. column.
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& scores);
+
+}  // namespace sgcl
+
+#endif  // SGCL_EVAL_METRICS_H_

@@ -1,0 +1,92 @@
+#include "eval/table.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sgcl {
+
+ResultTable::ResultTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void ResultTable::AddRow(const std::string& method,
+                         std::vector<std::optional<MeanStd>> cells) {
+  SGCL_CHECK_EQ(cells.size(), columns_.size());
+  methods_.push_back(method);
+  rows_.push_back(std::move(cells));
+}
+
+std::string ResultTable::ToString(bool with_ranks) const {
+  const size_t m = rows_.size();
+  const size_t d = columns_.size();
+  // Ranks and best-in-column flags.
+  std::vector<double> ranks;
+  std::vector<std::vector<bool>> best(m, std::vector<bool>(d, false));
+  if (with_ranks && m > 0) {
+    std::vector<std::vector<double>> scores(m, std::vector<double>(d));
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        scores[i][j] = rows_[i][j] ? rows_[i][j]->mean : std::nan("");
+      }
+    }
+    ranks = AverageRanks(scores);
+    for (size_t j = 0; j < d; ++j) {
+      double best_score = -1e300;
+      for (size_t i = 0; i < m; ++i) {
+        if (rows_[i][j] && rows_[i][j]->mean > best_score) {
+          best_score = rows_[i][j]->mean;
+        }
+      }
+      for (size_t i = 0; i < m; ++i) {
+        if (rows_[i][j] && rows_[i][j]->mean == best_score) {
+          best[i][j] = true;
+        }
+      }
+    }
+  }
+  // Cell strings.
+  std::vector<std::vector<std::string>> cells(m + 1);
+  cells[0].push_back("Method");
+  for (const std::string& c : columns_) cells[0].push_back(c);
+  if (with_ranks) cells[0].push_back("A.R.");
+  for (size_t i = 0; i < m; ++i) {
+    auto& row = cells[i + 1];
+    row.push_back(methods_[i]);
+    for (size_t j = 0; j < d; ++j) {
+      if (!rows_[i][j]) {
+        row.push_back("-");
+      } else {
+        row.push_back(StrFormat("%.2f±%.2f%s", rows_[i][j]->mean,
+                                rows_[i][j]->std, best[i][j] ? "*" : ""));
+      }
+    }
+    if (with_ranks) row.push_back(StrFormat("%.1f", ranks[i]));
+  }
+  // Column widths.
+  const size_t ncols = cells[0].size();
+  std::vector<size_t> width(ncols, 0);
+  for (const auto& row : cells) {
+    for (size_t j = 0; j < ncols; ++j) {
+      width[j] = std::max(width[j], row[j].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t j = 0; j < ncols; ++j) {
+      out += cells[r][j];
+      out.append(width[j] - cells[r][j].size() + 2, ' ');
+    }
+    out += "\n";
+    if (r == 0) {
+      for (size_t j = 0; j < ncols; ++j) {
+        out.append(width[j], '-');
+        out.append(2, ' ');
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace sgcl

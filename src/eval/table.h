@@ -1,0 +1,37 @@
+// ASCII table builder for bench output (mean±std cells, A.R. column,
+// best-in-column marking) mirroring the paper's table layout.
+#ifndef SGCL_EVAL_TABLE_H_
+#define SGCL_EVAL_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace sgcl {
+
+class ResultTable {
+ public:
+  // `columns` are dataset names; a final "A.R." column is appended
+  // automatically when PrintWithRanks is used.
+  explicit ResultTable(std::vector<std::string> columns);
+
+  // Adds a method row; cells may be missing (the paper's "-").
+  void AddRow(const std::string& method,
+              std::vector<std::optional<MeanStd>> cells);
+
+  // Renders the table. When `with_ranks`, appends an average-rank column
+  // (higher scores are better) and marks the best cell per column with
+  // an asterisk.
+  std::string ToString(bool with_ranks = true) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::string> methods_;
+  std::vector<std::vector<std::optional<MeanStd>>> rows_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_EVAL_TABLE_H_

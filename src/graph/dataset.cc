@@ -1,0 +1,67 @@
+#include "graph/dataset.h"
+
+#include "common/string_util.h"
+
+namespace sgcl {
+
+std::vector<int> GraphDataset::Labels() const {
+  std::vector<int> labels;
+  labels.reserve(graphs_.size());
+  for (const Graph& g : graphs_) labels.push_back(g.label());
+  return labels;
+}
+
+DatasetStats GraphDataset::Stats() const {
+  DatasetStats s;
+  s.num_graphs = size();
+  s.num_classes = num_classes_;
+  if (graphs_.empty()) return s;
+  double nodes = 0.0, edges = 0.0;
+  for (const Graph& g : graphs_) {
+    nodes += static_cast<double>(g.num_nodes());
+    edges += static_cast<double>(g.num_undirected_edges());
+  }
+  s.avg_nodes = nodes / static_cast<double>(size());
+  s.avg_edges = edges / static_cast<double>(size());
+  return s;
+}
+
+Status GraphDataset::Validate() const {
+  const int64_t d = feat_dim();
+  for (int64_t i = 0; i < size(); ++i) {
+    const Graph& g = graphs_[i];
+    SGCL_RETURN_NOT_OK(g.Validate());
+    if (g.feat_dim() != d) {
+      return Status::InvalidArgument(
+          StrFormat("graph %lld has feat_dim %lld, want %lld",
+                    static_cast<long long>(i),
+                    static_cast<long long>(g.feat_dim()),
+                    static_cast<long long>(d)));
+    }
+    if (num_tasks_ <= 1) {
+      if (g.label() < 0 || g.label() >= num_classes_) {
+        return Status::OutOfRange(
+            StrFormat("graph %lld has label %d outside [0, %d)",
+                      static_cast<long long>(i), g.label(), num_classes_));
+      }
+    } else if (static_cast<int>(g.task_labels().size()) != num_tasks_) {
+      return Status::InvalidArgument(
+          StrFormat("graph %lld has %zu task labels, want %d",
+                    static_cast<long long>(i), g.task_labels().size(),
+                    num_tasks_));
+    }
+  }
+  return Status::OK();
+}
+
+GraphDataset GraphDataset::Subset(const std::vector<int64_t>& indices) const {
+  GraphDataset out(name_, num_classes_, num_tasks_);
+  out.Reserve(static_cast<int64_t>(indices.size()));
+  for (int64_t i : indices) {
+    SGCL_CHECK(i >= 0 && i < size());
+    out.Add(graphs_[i]);
+  }
+  return out;
+}
+
+}  // namespace sgcl

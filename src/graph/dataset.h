@@ -1,0 +1,64 @@
+// A named collection of graphs with task metadata and summary statistics.
+#ifndef SGCL_GRAPH_DATASET_H_
+#define SGCL_GRAPH_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace sgcl {
+
+struct DatasetStats {
+  int64_t num_graphs = 0;
+  double avg_nodes = 0.0;
+  double avg_edges = 0.0;  // undirected
+  int num_classes = 0;
+};
+
+class GraphDataset {
+ public:
+  GraphDataset() = default;
+  GraphDataset(std::string name, int num_classes, int num_tasks = 1)
+      : name_(std::move(name)), num_classes_(num_classes),
+        num_tasks_(num_tasks) {}
+
+  const std::string& name() const { return name_; }
+  int num_classes() const { return num_classes_; }
+  // >1 marks a multi-task binary-classification dataset (MoleculeNet-like).
+  int num_tasks() const { return num_tasks_; }
+  int64_t size() const { return static_cast<int64_t>(graphs_.size()); }
+  int64_t feat_dim() const {
+    return graphs_.empty() ? 0 : graphs_[0].feat_dim();
+  }
+
+  const Graph& graph(int64_t i) const {
+    SGCL_CHECK(i >= 0 && i < size());
+    return graphs_[i];
+  }
+  const std::vector<Graph>& graphs() const { return graphs_; }
+  void Add(Graph g) { graphs_.push_back(std::move(g)); }
+  void Reserve(int64_t n) { graphs_.reserve(n); }
+
+  // Single-task class labels of all graphs.
+  std::vector<int> Labels() const;
+
+  DatasetStats Stats() const;
+
+  // Validates every graph and checks label ranges & feature-dim agreement.
+  Status Validate() const;
+
+  // The subset given by `indices` (copying graphs).
+  GraphDataset Subset(const std::vector<int64_t>& indices) const;
+
+ private:
+  std::string name_;
+  int num_classes_ = 0;
+  int num_tasks_ = 1;
+  std::vector<Graph> graphs_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_GRAPH_DATASET_H_

@@ -1,0 +1,111 @@
+#include "graph/dataset_io.h"
+
+#include "common/io.h"
+#include "common/string_util.h"
+
+namespace sgcl {
+namespace {
+
+constexpr uint32_t kMagic = 0x53474444u;  // "SGDD"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveDataset(const GraphDataset& dataset, const std::string& path) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  writer.WriteU32(kMagic);
+  writer.WriteU32(kVersion);
+  writer.WriteString(dataset.name());
+  writer.WriteI64(dataset.num_classes());
+  writer.WriteI64(dataset.num_tasks());
+  writer.WriteI64(dataset.size());
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const Graph& g = dataset.graph(i);
+    writer.WriteI64(g.num_nodes());
+    writer.WriteI64(g.feat_dim());
+    writer.WriteFloatVector(g.features());
+    writer.WriteI32Vector(g.edge_src());
+    writer.WriteI32Vector(g.edge_dst());
+    writer.WriteI64(g.label());
+    writer.WriteI64(g.scaffold_id());
+    writer.WriteFloatVector(g.task_labels());
+    std::vector<int32_t> mask(g.semantic_mask().begin(),
+                              g.semantic_mask().end());
+    writer.WriteI32Vector(mask);
+  }
+  return writer.Close();
+}
+
+Result<GraphDataset> LoadDataset(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  if (reader.ReadU32() != kMagic) {
+    return Status::InvalidArgument(
+        StrFormat("%s is not an SGCL dataset file", path.c_str()));
+  }
+  if (reader.ReadU32() != kVersion) {
+    return Status::InvalidArgument("unsupported dataset version");
+  }
+  const std::string name = reader.ReadString();
+  const int64_t num_classes = reader.ReadI64();
+  const int64_t num_tasks = reader.ReadI64();
+  const int64_t size = reader.ReadI64();
+  // Sanity caps so corrupt headers cannot trigger huge allocations.
+  constexpr int64_t kMaxGraphs = 1LL << 24;
+  constexpr int64_t kMaxNodes = 1LL << 24;
+  constexpr int64_t kMaxFeatureEntries = 1LL << 26;
+  if (!reader.ok() || size < 0 || size > kMaxGraphs || num_classes < 0 ||
+      num_classes > (1 << 20) || num_tasks < 0 || num_tasks > (1 << 20)) {
+    return Status::InvalidArgument("corrupt dataset header");
+  }
+  GraphDataset dataset(name, static_cast<int>(num_classes),
+                       static_cast<int>(num_tasks));
+  dataset.Reserve(size);
+  for (int64_t i = 0; i < size; ++i) {
+    const int64_t num_nodes = reader.ReadI64();
+    const int64_t feat_dim = reader.ReadI64();
+    if (!reader.ok() || num_nodes < 0 || num_nodes > kMaxNodes ||
+        feat_dim < 0 || num_nodes * feat_dim > kMaxFeatureEntries) {
+      return Status::InvalidArgument("corrupt graph header");
+    }
+    Graph g(num_nodes, feat_dim);
+    std::vector<float> feats = reader.ReadFloatVector();
+    if (static_cast<int64_t>(feats.size()) != num_nodes * feat_dim) {
+      return Status::InvalidArgument("corrupt feature payload");
+    }
+    g.mutable_features() = std::move(feats);
+    std::vector<int32_t> src = reader.ReadI32Vector();
+    std::vector<int32_t> dst = reader.ReadI32Vector();
+    if (!reader.ok() || src.size() != dst.size()) {
+      return Status::InvalidArgument("corrupt edge payload");
+    }
+    // Undirected edges appear twice; AddUndirectedEdge dedups.
+    for (size_t e = 0; e < src.size(); ++e) {
+      if (src[e] < 0 || src[e] >= num_nodes || dst[e] < 0 ||
+          dst[e] >= num_nodes) {
+        return Status::OutOfRange("edge index outside graph");
+      }
+      g.AddUndirectedEdge(src[e], dst[e]);
+    }
+    g.set_label(static_cast<int>(reader.ReadI64()));
+    g.set_scaffold_id(static_cast<int>(reader.ReadI64()));
+    g.set_task_labels(reader.ReadFloatVector());
+    std::vector<int32_t> mask32 = reader.ReadI32Vector();
+    if (!mask32.empty()) {
+      g.set_semantic_mask(
+          std::vector<uint8_t>(mask32.begin(), mask32.end()));
+    }
+    dataset.Add(std::move(g));
+  }
+  SGCL_RETURN_NOT_OK(reader.Finish());
+  SGCL_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace sgcl

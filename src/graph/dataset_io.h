@@ -1,0 +1,20 @@
+// Binary serialization of GraphDataset, so generated synthetic corpora
+// can be frozen to disk and reloaded bit-identically (useful for sharing
+// exact experiment inputs and for the CLI workflow).
+#ifndef SGCL_GRAPH_DATASET_IO_H_
+#define SGCL_GRAPH_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/dataset.h"
+
+namespace sgcl {
+
+Status SaveDataset(const GraphDataset& dataset, const std::string& path);
+
+Result<GraphDataset> LoadDataset(const std::string& path);
+
+}  // namespace sgcl
+
+#endif  // SGCL_GRAPH_DATASET_IO_H_

@@ -1,0 +1,140 @@
+#include "graph/graph.h"
+
+#include "common/string_util.h"
+
+namespace sgcl {
+
+Graph::Graph(int64_t num_nodes, int64_t feat_dim)
+    : num_nodes_(num_nodes), feat_dim_(feat_dim) {
+  SGCL_CHECK_GE(num_nodes, 0);
+  SGCL_CHECK_GE(feat_dim, 0);
+  features_.assign(static_cast<size_t>(num_nodes * feat_dim), 0.0f);
+}
+
+int64_t Graph::AddNodes(int64_t count) {
+  SGCL_CHECK_GE(count, 0);
+  const int64_t first = num_nodes_;
+  num_nodes_ += count;
+  features_.resize(static_cast<size_t>(num_nodes_ * feat_dim_), 0.0f);
+  if (!semantic_mask_.empty()) {
+    semantic_mask_.resize(static_cast<size_t>(num_nodes_), 0);
+  }
+  return first;
+}
+
+void Graph::AddUndirectedEdge(int64_t a, int64_t b) {
+  SGCL_CHECK(a >= 0 && a < num_nodes_);
+  SGCL_CHECK(b >= 0 && b < num_nodes_);
+  if (!edge_set_.insert(EdgeKey(a, b)).second) return;
+  edge_src_.push_back(static_cast<int32_t>(a));
+  edge_dst_.push_back(static_cast<int32_t>(b));
+  if (a != b) {
+    edge_src_.push_back(static_cast<int32_t>(b));
+    edge_dst_.push_back(static_cast<int32_t>(a));
+  }
+}
+
+bool Graph::HasEdge(int64_t a, int64_t b) const {
+  if (a < 0 || a >= num_nodes_ || b < 0 || b >= num_nodes_) return false;
+  return edge_set_.count(EdgeKey(a, b)) > 0;
+}
+
+bool Graph::RemoveUndirectedEdge(int64_t a, int64_t b) {
+  if (!HasEdge(a, b)) return false;
+  edge_set_.erase(EdgeKey(a, b));
+  // Filter both directed copies out of the edge arrays.
+  size_t w = 0;
+  for (size_t r = 0; r < edge_src_.size(); ++r) {
+    const bool match = (edge_src_[r] == a && edge_dst_[r] == b) ||
+                       (edge_src_[r] == b && edge_dst_[r] == a);
+    if (!match) {
+      edge_src_[w] = edge_src_[r];
+      edge_dst_[w] = edge_dst_[r];
+      ++w;
+    }
+  }
+  edge_src_.resize(w);
+  edge_dst_.resize(w);
+  return true;
+}
+
+std::vector<int64_t> Graph::Degrees() const {
+  std::vector<int64_t> deg(static_cast<size_t>(num_nodes_), 0);
+  // Each undirected edge appears as two directed entries; counting
+  // out-edges per node counts each incident edge once. A self-loop is
+  // stored once and so counts once.
+  for (int32_t s : edge_src_) ++deg[s];
+  return deg;
+}
+
+std::vector<int32_t> Graph::Neighbors(int64_t node) const {
+  SGCL_CHECK(node >= 0 && node < num_nodes_);
+  std::vector<int32_t> out;
+  for (size_t r = 0; r < edge_src_.size(); ++r) {
+    if (edge_src_[r] == node) out.push_back(edge_dst_[r]);
+  }
+  return out;
+}
+
+Status Graph::Validate() const {
+  if (num_nodes_ < 0) return Status::InvalidArgument("negative node count");
+  if (static_cast<int64_t>(features_.size()) != num_nodes_ * feat_dim_) {
+    return Status::InvalidArgument(StrFormat(
+        "feature buffer has %zu entries, want %lld", features_.size(),
+        static_cast<long long>(num_nodes_ * feat_dim_)));
+  }
+  if (edge_src_.size() != edge_dst_.size()) {
+    return Status::InvalidArgument("edge arrays have different lengths");
+  }
+  for (size_t r = 0; r < edge_src_.size(); ++r) {
+    if (edge_src_[r] < 0 || edge_src_[r] >= num_nodes_ || edge_dst_[r] < 0 ||
+        edge_dst_[r] >= num_nodes_) {
+      return Status::OutOfRange(
+          StrFormat("edge %zu references a node outside [0, %lld)", r,
+                    static_cast<long long>(num_nodes_)));
+    }
+  }
+  if (!semantic_mask_.empty() &&
+      static_cast<int64_t>(semantic_mask_.size()) != num_nodes_) {
+    return Status::InvalidArgument("semantic mask size mismatch");
+  }
+  return Status::OK();
+}
+
+Graph Graph::InducedSubgraph(const std::vector<uint8_t>& keep) const {
+  SGCL_CHECK_EQ(static_cast<int64_t>(keep.size()), num_nodes_);
+  std::vector<int32_t> remap(static_cast<size_t>(num_nodes_), -1);
+  int64_t kept = 0;
+  for (int64_t v = 0; v < num_nodes_; ++v) {
+    if (keep[v]) remap[v] = static_cast<int32_t>(kept++);
+  }
+  Graph out(kept, feat_dim_);
+  for (int64_t v = 0; v < num_nodes_; ++v) {
+    if (remap[v] < 0) continue;
+    for (int64_t j = 0; j < feat_dim_; ++j) {
+      out.set_feature(remap[v], j, feature(v, j));
+    }
+  }
+  // Walk directed entries once per undirected edge (src <= dst covers
+  // self-loops as well).
+  for (size_t r = 0; r < edge_src_.size(); ++r) {
+    const int32_t a = edge_src_[r], b = edge_dst_[r];
+    if (a > b) continue;
+    if (remap[a] >= 0 && remap[b] >= 0) {
+      out.AddUndirectedEdge(remap[a], remap[b]);
+    }
+  }
+  out.set_label(label_);
+  out.set_task_labels(task_labels_);
+  out.set_scaffold_id(scaffold_id_);
+  if (!semantic_mask_.empty()) {
+    std::vector<uint8_t> mask(static_cast<size_t>(kept), 0);
+    for (int64_t v = 0; v < num_nodes_; ++v) {
+      if (remap[v] >= 0) mask[remap[v]] = semantic_mask_[v];
+    }
+    out.set_semantic_mask(std::move(mask));
+  }
+  return out;
+}
+
+}  // namespace sgcl

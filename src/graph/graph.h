@@ -1,0 +1,115 @@
+// Core graph data model.
+//
+// A Graph stores node features, an undirected edge list (materialized in
+// both directions for message passing), an optional class label and/or
+// multi-task labels, and — for synthetic datasets — a ground-truth mask of
+// semantic (motif) nodes used to validate the Lipschitz generator.
+#ifndef SGCL_GRAPH_GRAPH_H_
+#define SGCL_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sgcl {
+
+class Graph {
+ public:
+  Graph() = default;
+  // Nodes start with zeroed features.
+  Graph(int64_t num_nodes, int64_t feat_dim);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t feat_dim() const { return feat_dim_; }
+  // Directed edge count (2x the undirected count for simple graphs).
+  int64_t num_directed_edges() const {
+    return static_cast<int64_t>(edge_src_.size());
+  }
+  int64_t num_undirected_edges() const { return num_directed_edges() / 2; }
+
+  const std::vector<float>& features() const { return features_; }
+  std::vector<float>& mutable_features() { return features_; }
+  float feature(int64_t node, int64_t j) const {
+    SGCL_DCHECK(node >= 0 && node < num_nodes_ && j >= 0 && j < feat_dim_);
+    return features_[node * feat_dim_ + j];
+  }
+  void set_feature(int64_t node, int64_t j, float v) {
+    SGCL_DCHECK(node >= 0 && node < num_nodes_ && j >= 0 && j < feat_dim_);
+    features_[node * feat_dim_ + j] = v;
+  }
+
+  const std::vector<int32_t>& edge_src() const { return edge_src_; }
+  const std::vector<int32_t>& edge_dst() const { return edge_dst_; }
+
+  // Appends `count` nodes with zeroed features; returns the index of the
+  // first new node. Any semantic mask is extended with zeros.
+  int64_t AddNodes(int64_t count);
+
+  // Adds the undirected edge {a,b} (stored as both (a,b) and (b,a)).
+  // Self-loops are stored once. No-op if the edge already exists.
+  void AddUndirectedEdge(int64_t a, int64_t b);
+  bool HasEdge(int64_t a, int64_t b) const;
+  // Removes {a,b} if present; returns whether it was removed.
+  bool RemoveUndirectedEdge(int64_t a, int64_t b);
+
+  // Per-node degree (counting each incident undirected edge once,
+  // self-loops once).
+  std::vector<int64_t> Degrees() const;
+  // Neighbors of `node` (deduplicated by construction).
+  std::vector<int32_t> Neighbors(int64_t node) const;
+
+  int label() const { return label_; }
+  void set_label(int v) { label_ = v; }
+
+  // Multi-task binary labels; -1 marks a missing label (MUV/Tox-style
+  // sparsity). Empty when the dataset is single-task.
+  const std::vector<float>& task_labels() const { return task_labels_; }
+  void set_task_labels(std::vector<float> labels) {
+    task_labels_ = std::move(labels);
+  }
+
+  // Ground-truth semantic-node flags for synthetic datasets (1 = the node
+  // belongs to the planted, class-determining motif). Empty when unknown.
+  const std::vector<uint8_t>& semantic_mask() const { return semantic_mask_; }
+  void set_semantic_mask(std::vector<uint8_t> mask) {
+    semantic_mask_ = std::move(mask);
+  }
+
+  // Scaffold (backbone) group id used by scaffold splits; -1 when unset.
+  int scaffold_id() const { return scaffold_id_; }
+  void set_scaffold_id(int id) { scaffold_id_ = id; }
+
+  // Structural sanity checks (index ranges, feature sizing, paired edges).
+  Status Validate() const;
+
+  // The subgraph induced by nodes with keep[v] != 0, with features,
+  // semantic mask and labels carried over. Nodes are renumbered compactly
+  // preserving order.
+  Graph InducedSubgraph(const std::vector<uint8_t>& keep) const;
+
+ private:
+  // Canonical key for the undirected edge {a,b}: packs (min,max) so lookup
+  // is O(1) during construction of dense graphs.
+  static int64_t EdgeKey(int64_t a, int64_t b) {
+    const int64_t lo = a < b ? a : b;
+    const int64_t hi = a < b ? b : a;
+    return (lo << 32) | hi;
+  }
+
+  int64_t num_nodes_ = 0;
+  int64_t feat_dim_ = 0;
+  std::vector<float> features_;
+  std::vector<int32_t> edge_src_;
+  std::vector<int32_t> edge_dst_;
+  std::unordered_set<int64_t> edge_set_;
+  int label_ = -1;
+  std::vector<float> task_labels_;
+  std::vector<uint8_t> semantic_mask_;
+  int scaffold_id_ = -1;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_GRAPH_GRAPH_H_

@@ -1,0 +1,58 @@
+#include "graph/graph_batch.h"
+
+namespace sgcl {
+
+GraphBatch GraphBatch::FromGraphPtrs(const std::vector<const Graph*>& graphs) {
+  SGCL_CHECK(!graphs.empty());
+  GraphBatch batch;
+  batch.num_graphs = static_cast<int64_t>(graphs.size());
+  batch.feat_dim = graphs[0]->feat_dim();
+  int64_t total_nodes = 0;
+  int64_t total_edges = 0;
+  for (const Graph* g : graphs) {
+    SGCL_CHECK(g != nullptr);
+    SGCL_CHECK_EQ(g->feat_dim(), batch.feat_dim);
+    total_nodes += g->num_nodes();
+    total_edges += g->num_directed_edges();
+  }
+  batch.num_nodes = total_nodes;
+  batch.node_offsets.reserve(graphs.size() + 1);
+  batch.node_graph_ids.reserve(total_nodes);
+  batch.edge_src.reserve(total_edges);
+  batch.edge_dst.reserve(total_edges);
+  std::vector<float> feats;
+  feats.reserve(static_cast<size_t>(total_nodes * batch.feat_dim));
+  int64_t offset = 0;
+  batch.node_offsets.push_back(0);
+  for (int64_t gi = 0; gi < batch.num_graphs; ++gi) {
+    const Graph& g = *graphs[gi];
+    feats.insert(feats.end(), g.features().begin(), g.features().end());
+    for (int64_t v = 0; v < g.num_nodes(); ++v) {
+      batch.node_graph_ids.push_back(static_cast<int32_t>(gi));
+    }
+    for (size_t r = 0; r < g.edge_src().size(); ++r) {
+      batch.edge_src.push_back(static_cast<int32_t>(g.edge_src()[r] + offset));
+      batch.edge_dst.push_back(static_cast<int32_t>(g.edge_dst()[r] + offset));
+    }
+    offset += g.num_nodes();
+    batch.node_offsets.push_back(offset);
+  }
+  batch.features =
+      Tensor::FromVector({total_nodes, batch.feat_dim}, std::move(feats));
+  return batch;
+}
+
+GraphBatch GraphBatch::FromGraphs(const std::vector<Graph>& graphs) {
+  std::vector<const Graph*> ptrs;
+  ptrs.reserve(graphs.size());
+  for (const Graph& g : graphs) ptrs.push_back(&g);
+  return FromGraphPtrs(ptrs);
+}
+
+std::vector<int64_t> GraphBatch::Degrees() const {
+  std::vector<int64_t> deg(static_cast<size_t>(num_nodes), 0);
+  for (int32_t s : edge_src) ++deg[s];
+  return deg;
+}
+
+}  // namespace sgcl

@@ -1,0 +1,41 @@
+// Disjoint-union batching of graphs for one-pass GNN training.
+//
+// Node features of all graphs are stacked into one [N_total, d] tensor;
+// edge indices are shifted by per-graph node offsets; node_graph_ids maps
+// each node back to its graph for pooling via segment ops.
+#ifndef SGCL_GRAPH_GRAPH_BATCH_H_
+#define SGCL_GRAPH_GRAPH_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace sgcl {
+
+struct GraphBatch {
+  Tensor features;                     // [num_nodes, feat_dim], no grad
+  std::vector<int32_t> edge_src;       // concatenated, offset-shifted
+  std::vector<int32_t> edge_dst;
+  // Optional per-edge weights [num_edges, 1] (may carry gradients, e.g.
+  // AD-GCL's learnable edge dropper). Empty (numel 0) = unweighted.
+  Tensor edge_weights;
+  std::vector<int32_t> node_graph_ids; // [num_nodes] -> graph index
+  std::vector<int64_t> node_offsets;   // [num_graphs + 1]
+  int64_t num_graphs = 0;
+  int64_t num_nodes = 0;
+  int64_t feat_dim = 0;
+
+  // Builds a batch; all graphs must share feat_dim. Graphs may be empty
+  // (zero nodes) — they contribute an empty segment and pool to zeros.
+  static GraphBatch FromGraphPtrs(const std::vector<const Graph*>& graphs);
+  static GraphBatch FromGraphs(const std::vector<Graph>& graphs);
+
+  // Per-node degree over the batched edge list.
+  std::vector<int64_t> Degrees() const;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_GRAPH_GRAPH_BATCH_H_

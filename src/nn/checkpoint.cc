@@ -1,0 +1,75 @@
+#include "nn/checkpoint.h"
+
+#include "common/io.h"
+#include "common/string_util.h"
+
+namespace sgcl {
+namespace {
+
+constexpr uint32_t kMagic = 0x5347434cu;  // "SGCL"
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveCheckpoint(const Module& module, const std::string& path) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  const std::vector<Tensor> params = module.Parameters();
+  writer.WriteU32(kMagic);
+  writer.WriteU32(kVersion);
+  writer.WriteI64(static_cast<int64_t>(params.size()));
+  for (const Tensor& p : params) {
+    writer.WriteI64(static_cast<int64_t>(p.shape().size()));
+    for (int64_t d : p.shape()) writer.WriteI64(d);
+    writer.WriteFloatVector(p.values());
+  }
+  return writer.Close();
+}
+
+Status LoadCheckpoint(const std::string& path, Module* module) {
+  SGCL_CHECK(module != nullptr);
+  BinaryReader reader(path);
+  if (!reader.ok()) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  if (reader.ReadU32() != kMagic) {
+    return Status::InvalidArgument(
+        StrFormat("%s is not an SGCL checkpoint", path.c_str()));
+  }
+  const uint32_t version = reader.ReadU32();
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported checkpoint version %u", version));
+  }
+  std::vector<Tensor> params = module->Parameters();
+  const int64_t count = reader.ReadI64();
+  if (count != static_cast<int64_t>(params.size())) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint has %lld tensors, model expects %zu",
+                  static_cast<long long>(count), params.size()));
+  }
+  for (Tensor& p : params) {
+    const int64_t rank = reader.ReadI64();
+    if (!reader.ok() || rank < 0 || rank > 8) {
+      return Status::InvalidArgument("corrupt tensor header");
+    }
+    std::vector<int64_t> shape(static_cast<size_t>(rank));
+    for (int64_t& d : shape) d = reader.ReadI64();
+    if (shape != p.shape()) {
+      return Status::InvalidArgument(
+          "checkpoint tensor shape does not match model architecture");
+    }
+    std::vector<float> values = reader.ReadFloatVector();
+    if (!reader.ok() ||
+        values.size() != p.impl()->data.size()) {
+      return Status::InvalidArgument("corrupt tensor payload");
+    }
+    p.impl()->data = std::move(values);
+  }
+  return reader.Finish();
+}
+
+}  // namespace sgcl

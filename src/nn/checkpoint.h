@@ -1,0 +1,28 @@
+// Model checkpointing: saves/loads the trainable tensors of any Module
+// (encoders, heads, or whole SGCL models via their Parameters() list).
+//
+// Format: magic, version, tensor count, then per tensor its shape and
+// float32 payload. Loading checks shape agreement pairwise, so the target
+// module must be constructed with the same architecture.
+#ifndef SGCL_NN_CHECKPOINT_H_
+#define SGCL_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace sgcl {
+
+// Writes `module`'s parameters to `path`.
+Status SaveCheckpoint(const Module& module, const std::string& path);
+
+// Restores parameters saved by SaveCheckpoint into `module`. Fails with
+// InvalidArgument on magic/version/count/shape mismatch (module is left
+// partially updated only on shape mismatch mid-file; callers treat any
+// failure as fatal for the model instance).
+Status LoadCheckpoint(const std::string& path, Module* module);
+
+}  // namespace sgcl
+
+#endif  // SGCL_NN_CHECKPOINT_H_

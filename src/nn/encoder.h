@@ -1,0 +1,59 @@
+// Configurable multi-layer GNN encoder (the paper's f_q / f_k towers).
+#ifndef SGCL_NN_ENCODER_H_
+#define SGCL_NN_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph_batch.h"
+#include "nn/graph_conv.h"
+#include "nn/layer_norm.h"
+#include "nn/pooling.h"
+
+namespace sgcl {
+
+enum class GnnArch { kGin, kGcn, kGat, kSage };
+
+const char* GnnArchToString(GnnArch arch);
+
+struct EncoderConfig {
+  GnnArch arch = GnnArch::kGin;
+  int64_t in_dim = 0;
+  int64_t hidden_dim = 32;
+  int num_layers = 3;       // paper: 3 for TU, 5 for transfer
+  PoolingKind pooling = PoolingKind::kSum;
+  int gat_heads = 2;        // only for kGat
+  // Optional LayerNorm between convolutions (stabilizes sum aggregation
+  // on dense graphs; off by default to match the paper's architecture).
+  bool use_layer_norm = false;
+};
+
+class GnnEncoder : public Module {
+ public:
+  GnnEncoder(const EncoderConfig& config, Rng* rng);
+
+  // Final-layer node embeddings [N, hidden_dim]. ReLU after every layer.
+  Tensor EncodeNodes(const Tensor& x, const GraphBatch& batch) const;
+
+  // Graph embeddings [num_graphs, hidden_dim]: pooled node embeddings.
+  // When `node_weights` (shape [N,1], constants) is provided, node
+  // embeddings are reweighted before pooling — used by the paper's Eq. 21
+  // where K_V scores scale the anchor representation.
+  Tensor EncodeGraphs(const GraphBatch& batch,
+                      const Tensor* node_weights = nullptr) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  const EncoderConfig& config() const { return config_; }
+
+ private:
+  EncoderConfig config_;
+  std::vector<std::unique_ptr<GraphConv>> layers_;
+  std::vector<std::unique_ptr<LayerNorm>> norms_;  // empty unless enabled
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_NN_ENCODER_H_

@@ -1,0 +1,30 @@
+// Layer normalization (Ba et al., 2016): per-row standardization with a
+// learnable gain and bias. Offered as an optional stabilizer for deep
+// sum-aggregation encoders (EncoderConfig::use_layer_norm); the paper's
+// GIN reference implementation normalizes between layers, and on dense
+// graphs un-normalized sums can dominate training.
+#ifndef SGCL_NN_LAYER_NORM_H_
+#define SGCL_NN_LAYER_NORM_H_
+
+#include "nn/module.h"
+
+namespace sgcl {
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, float eps = 1e-5f);
+
+  // x [n, dim] -> gamma * (x - mean_row) / sqrt(var_row + eps) + beta.
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+ private:
+  Tensor gamma_;  // [1, dim], ones
+  Tensor beta_;   // [1, dim], zeros
+  float eps_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_NN_LAYER_NORM_H_

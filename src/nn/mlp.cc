@@ -1,0 +1,33 @@
+#include "nn/mlp.h"
+
+#include "tensor/ops.h"
+
+namespace sgcl {
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Rng* rng, bool final_activation)
+    : final_activation_(final_activation) {
+  SGCL_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size() || final_activation_) h = Relu(h);
+  }
+  return h;
+}
+
+std::vector<Tensor> Mlp::Parameters() const {
+  std::vector<Tensor> params;
+  for (const auto& layer : layers_) {
+    auto p = layer->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+}  // namespace sgcl

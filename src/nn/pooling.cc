@@ -1,0 +1,33 @@
+#include "nn/pooling.h"
+
+#include "tensor/graph_ops.h"
+
+namespace sgcl {
+
+const char* PoolingKindToString(PoolingKind kind) {
+  switch (kind) {
+    case PoolingKind::kSum:
+      return "sum";
+    case PoolingKind::kMean:
+      return "mean";
+    case PoolingKind::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+Tensor Pool(const Tensor& x, const GraphBatch& batch, PoolingKind kind) {
+  SGCL_CHECK_EQ(x.rows(), batch.num_nodes);
+  switch (kind) {
+    case PoolingKind::kSum:
+      return SegmentSum(x, batch.node_graph_ids, batch.num_graphs);
+    case PoolingKind::kMean:
+      return SegmentMean(x, batch.node_graph_ids, batch.num_graphs);
+    case PoolingKind::kMax:
+      return SegmentMax(x, batch.node_graph_ids, batch.num_graphs);
+  }
+  SGCL_CHECK(false);
+  return Tensor();
+}
+
+}  // namespace sgcl

@@ -1,0 +1,22 @@
+// Graph-level readout over batched node embeddings.
+#ifndef SGCL_NN_POOLING_H_
+#define SGCL_NN_POOLING_H_
+
+#include <string>
+
+#include "graph/graph_batch.h"
+#include "tensor/tensor.h"
+
+namespace sgcl {
+
+enum class PoolingKind { kSum, kMean, kMax };
+
+const char* PoolingKindToString(PoolingKind kind);
+
+// Pools node embeddings x [N, d] into graph embeddings [num_graphs, d]
+// using each node's graph id. Empty graphs pool to zero rows.
+Tensor Pool(const Tensor& x, const GraphBatch& batch, PoolingKind kind);
+
+}  // namespace sgcl
+
+#endif  // SGCL_NN_POOLING_H_

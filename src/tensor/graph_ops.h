@@ -1,0 +1,46 @@
+// Differentiable gather / scatter / segment ops used by GNN layers.
+//
+// Message passing over a batched edge list is expressed as
+//   messages = GatherRows(X, src);            // per-edge source features
+//   aggregated = ScatterAddRows(messages, dst, num_nodes);
+// and graph-level pooling as SegmentSum/Mean/Max over node->graph ids.
+#ifndef SGCL_TENSOR_GRAPH_OPS_H_
+#define SGCL_TENSOR_GRAPH_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sgcl {
+
+// out[e] = x[index[e]]; x [n,d], index values in [0,n) -> [E,d].
+Tensor GatherRows(const Tensor& x, const std::vector<int32_t>& index);
+
+// out[index[e]] += x[e]; x [E,d] -> [num_rows,d].
+Tensor ScatterAddRows(const Tensor& x, const std::vector<int32_t>& index,
+                      int64_t num_rows);
+
+// Per-segment sum: x [n,d], segment_ids values in [0,num_segments)
+// -> [num_segments,d]. Identical math to ScatterAddRows; named alias for
+// pooling call sites.
+Tensor SegmentSum(const Tensor& x, const std::vector<int32_t>& segment_ids,
+                  int64_t num_segments);
+
+// Per-segment arithmetic mean. Empty segments yield zero rows.
+Tensor SegmentMean(const Tensor& x, const std::vector<int32_t>& segment_ids,
+                   int64_t num_segments);
+
+// Per-segment max with argmax backward. Empty segments yield zero rows.
+Tensor SegmentMax(const Tensor& x, const std::vector<int32_t>& segment_ids,
+                  int64_t num_segments);
+
+// Softmax of scores [E,1] within each segment (used for GAT edge attention
+// and the Lipschitz generator's attention weights). Empty segments are fine.
+Tensor SegmentSoftmax(const Tensor& scores,
+                      const std::vector<int32_t>& segment_ids,
+                      int64_t num_segments);
+
+}  // namespace sgcl
+
+#endif  // SGCL_TENSOR_GRAPH_OPS_H_

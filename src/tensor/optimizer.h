@@ -1,0 +1,67 @@
+// First-order optimizers over lists of trainable tensors.
+#ifndef SGCL_TENSOR_OPTIMIZER_H_
+#define SGCL_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sgcl {
+
+// Base class owning the parameter handles. Not copyable: optimizer state
+// (moments) is tied to the exact parameter tensors it was built with.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update using the gradients currently stored in the params.
+  virtual void Step() = 0;
+
+  // Clears all parameter gradients.
+  void ZeroGrad();
+
+  // Rescales gradients so their global L2 norm is at most max_norm.
+  // Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+// SGD with optional momentum and decoupled L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+// Adam (Kingma & Ba) with bias correction and decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,76 @@
+#include <cmath>
+
+#include "baselines/graphcl.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sgcl {
+namespace {
+
+TEST(RandomAugTest, IdentityReturnsSameGraph) {
+  Rng rng(1);
+  Graph g = testing::HouseGraph(3);
+  Graph a = ApplyRandomAugmentation(g, GraphAug::kIdentity, 0.2f, &rng);
+  EXPECT_EQ(a.num_nodes(), g.num_nodes());
+  EXPECT_EQ(a.features(), g.features());
+  EXPECT_EQ(a.num_directed_edges(), g.num_directed_edges());
+}
+
+TEST(RandomAugTest, NodeDropRemovesExpectedCount) {
+  Rng rng(2);
+  Graph g(10, 2);
+  for (int v = 1; v < 10; ++v) g.AddUndirectedEdge(v, v - 1);
+  Graph a = ApplyRandomAugmentation(g, GraphAug::kNodeDrop, 0.3f, &rng);
+  EXPECT_EQ(a.num_nodes(), 7);
+  EXPECT_TRUE(a.Validate().ok());
+}
+
+TEST(RandomAugTest, NodeDropKeepsAtLeastTwoNodes) {
+  Rng rng(3);
+  Graph g(3, 2);
+  g.AddUndirectedEdge(0, 1);
+  Graph a = ApplyRandomAugmentation(g, GraphAug::kNodeDrop, 0.9f, &rng);
+  EXPECT_GE(a.num_nodes(), 2);
+}
+
+TEST(RandomAugTest, EdgePerturbKeepsNodeCount) {
+  Rng rng(4);
+  Graph g = testing::HouseGraph(3);
+  Graph a = ApplyRandomAugmentation(g, GraphAug::kEdgePerturb, 0.3f, &rng);
+  EXPECT_EQ(a.num_nodes(), g.num_nodes());
+  EXPECT_TRUE(a.Validate().ok());
+}
+
+TEST(RandomAugTest, AttrMaskZeroesSomeRows) {
+  Rng rng(5);
+  Graph g(30, 4);
+  for (int v = 0; v < 30; ++v) g.set_feature(v, v % 4, 1.0f);
+  Graph a = ApplyRandomAugmentation(g, GraphAug::kAttrMask, 0.4f, &rng);
+  int zero_rows = 0;
+  for (int v = 0; v < 30; ++v) {
+    float total = 0.0f;
+    for (int j = 0; j < 4; ++j) total += std::fabs(a.feature(v, j));
+    zero_rows += (total == 0.0f);
+  }
+  EXPECT_GT(zero_rows, 3);
+  EXPECT_LT(zero_rows, 27);
+  EXPECT_EQ(a.num_directed_edges(), g.num_directed_edges());
+}
+
+TEST(RandomAugTest, SubgraphKeepsConnectedPortion) {
+  Rng rng(6);
+  Graph g(12, 2);
+  for (int v = 1; v < 12; ++v) g.AddUndirectedEdge(v, v - 1);
+  Graph a = ApplyRandomAugmentation(g, GraphAug::kSubgraph, 0.4f, &rng);
+  EXPECT_GE(a.num_nodes(), 2);
+  EXPECT_LE(a.num_nodes(), 12);
+  EXPECT_TRUE(a.Validate().ok());
+}
+
+TEST(RandomAugTest, NamesAreStable) {
+  EXPECT_STREQ(GraphAugToString(GraphAug::kNodeDrop), "node_drop");
+  EXPECT_STREQ(GraphAugToString(GraphAug::kSubgraph), "subgraph");
+}
+
+}  // namespace
+}  // namespace sgcl

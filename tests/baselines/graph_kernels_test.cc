@@ -1,0 +1,101 @@
+#include "baselines/graph_kernels.h"
+
+#include <cmath>
+
+#include "data/synthetic_tu.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sgcl {
+namespace {
+
+TEST(WlKernelTest, IdenticalGraphsHaveIdenticalFeatures) {
+  GraphKernel wl(KernelKind::kWlSubtree);
+  Graph g = testing::HouseGraph(3);
+  auto f1 = wl.WlFeatureMap(g);
+  auto f2 = wl.WlFeatureMap(g);
+  EXPECT_EQ(f1.size(), f2.size());
+  for (const auto& [k, v] : f1) {
+    auto it = f2.find(k);
+    ASSERT_NE(it, f2.end());
+    EXPECT_DOUBLE_EQ(v, it->second);
+  }
+}
+
+TEST(WlKernelTest, DistinguishesCycleFromPath) {
+  // Same degree sequence locally differs after 1 WL iteration's horizon
+  // in a small graph: a 6-cycle vs a 6-path.
+  Graph cycle(6, 2), path(6, 2);
+  for (int v = 0; v < 6; ++v) {
+    cycle.set_feature(v, 0, 1.0f);
+    path.set_feature(v, 0, 1.0f);
+    cycle.AddUndirectedEdge(v, (v + 1) % 6);
+    if (v > 0) path.AddUndirectedEdge(v, v - 1);
+  }
+  GraphKernel wl(KernelKind::kWlSubtree);
+  std::vector<const Graph*> graphs = {&cycle, &path};
+  std::vector<double> gram = wl.GramMatrix(graphs);
+  EXPECT_NEAR(gram[0], 1.0, 1e-9);          // self-similarity normalized
+  EXPECT_NEAR(gram[3], 1.0, 1e-9);
+  EXPECT_LT(gram[1], 0.999);                // off-diagonal strictly smaller
+}
+
+TEST(GraphletKernelTest, HistogramSumsToOne) {
+  GraphKernel gl(KernelKind::kGraphlet);
+  Graph g = testing::HouseGraph(2);
+  auto hist = gl.GraphletHistogram(g, 42);
+  double total = 0.0;
+  for (double h : hist) total += h;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GraphletKernelTest, CliqueIsAllTriangles) {
+  Graph clique(5, 1);
+  for (int a = 0; a < 5; ++a) {
+    for (int b = a + 1; b < 5; ++b) clique.AddUndirectedEdge(a, b);
+  }
+  GraphKernel gl(KernelKind::kGraphlet);
+  auto hist = gl.GraphletHistogram(clique, 7);
+  EXPECT_NEAR(hist[3], 1.0, 1e-9);  // every sampled trio has 3 edges
+}
+
+TEST(GraphletKernelTest, EmptyGraphIsAllEmptyTriples) {
+  Graph empty(6, 1);
+  GraphKernel gl(KernelKind::kGraphlet);
+  auto hist = gl.GraphletHistogram(empty, 7);
+  EXPECT_NEAR(hist[0], 1.0, 1e-9);
+}
+
+void CheckGramBasics(KernelKind kind) {
+  SyntheticTuOptions opt;
+  opt.graph_fraction = 0.05;
+  opt.node_cap = 15;
+  opt.seed = 9;
+  GraphDataset ds = MakeTuDataset(TuDataset::kMutag, opt);
+  std::vector<const Graph*> graphs;
+  for (int i = 0; i < 10; ++i) graphs.push_back(&ds.graph(i));
+  GraphKernel kernel(kind);
+  std::vector<double> gram = kernel.GramMatrix(graphs);
+  ASSERT_EQ(gram.size(), 100u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(gram[i * 10 + i], 1.0, 1e-6) << kernel.name();
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_TRUE(std::isfinite(gram[i * 10 + j]));
+      EXPECT_NEAR(gram[i * 10 + j], gram[j * 10 + i], 1e-9)
+          << kernel.name() << " not symmetric";
+    }
+  }
+}
+
+TEST(GraphKernelTest, GramWellFormedGL) { CheckGramBasics(KernelKind::kGraphlet); }
+TEST(GraphKernelTest, GramWellFormedWL) { CheckGramBasics(KernelKind::kWlSubtree); }
+TEST(GraphKernelTest, GramWellFormedDGK) { CheckGramBasics(KernelKind::kDeepWl); }
+
+TEST(GraphKernelTest, NamesMatchPaperRows) {
+  EXPECT_EQ(GraphKernel(KernelKind::kGraphlet).name(), "GL");
+  EXPECT_EQ(GraphKernel(KernelKind::kWlSubtree).name(), "WL");
+  EXPECT_EQ(GraphKernel(KernelKind::kDeepWl).name(), "DGK");
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include "common/stopwatch.h"
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MacroStreamsWithoutCrashing) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // suppress output during the test
+  SGCL_LOG(INFO) << "value " << 42 << " and " << 3.14;
+  SGCL_LOG(WARNING) << "warn";
+  SGCL_LOG(DEBUG) << "debug";
+  SetLogLevel(original);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Busy-wait a tiny amount of work.
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x += i * 0.5;
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  EXPECT_GE(watch.ElapsedMillis(), watch.ElapsedSeconds());
+  const double before = watch.ElapsedSeconds();
+  watch.Restart();
+  EXPECT_LE(watch.ElapsedSeconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad ratio");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad ratio");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad ratio");
+}
+
+TEST(StatusTest, AllFactoriesSetDistinctCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Caller(int x) {
+  SGCL_RETURN_NOT_OK(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Caller(1).ok());
+  EXPECT_FALSE(Caller(-1).ok());
+}
+
+Result<int> Doubler(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return 2 * x;
+}
+
+Result<int> AssignCaller(int x) {
+  SGCL_ASSIGN_OR_RETURN(int doubled, Doubler(x));
+  return doubled + 1;
+}
+
+TEST(StatusTest, AssignOrReturnBindsAndPropagates) {
+  Result<int> ok = AssignCaller(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 21);
+  EXPECT_FALSE(AssignCaller(-1).ok());
+}
+
+TEST(StatusDeathTest, AccessingErrorValueAborts) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)r.value(); }, "SGCL_CHECK failed");
+}
+
+TEST(StatusDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH({ SGCL_CHECK_EQ(1, 2); }, "SGCL_CHECK failed");
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,95 @@
+#include "core/contrastive_loss.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace sgcl {
+namespace {
+
+using testing::GradCheck;
+
+TEST(SemanticInfoNceTest, AlignedPairsGiveLowerLoss) {
+  // Anchors equal to their samples (perfect alignment) vs anchors equal
+  // to *other* samples (misalignment).
+  Tensor z = Tensor::FromVector({3, 4},
+                                {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0});
+  Tensor aligned = SemanticInfoNceLoss(z, z, 0.2f);
+  // Rotate rows: anchor i pairs with sample i+1 (bad positives).
+  Tensor rotated = Tensor::FromVector({3, 4},
+                                      {0, 1, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0});
+  Tensor misaligned = SemanticInfoNceLoss(z, rotated, 0.2f);
+  EXPECT_LT(aligned.item(), misaligned.item());
+}
+
+TEST(SemanticInfoNceTest, InvariantToEmbeddingScale) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, -1, 0, 2});
+  Tensor b = Tensor::FromVector({2, 3}, {2, 1, 0, 1, 1, -1});
+  const float l1 = SemanticInfoNceLoss(a, b, 0.5f).item();
+  const float l2 =
+      SemanticInfoNceLoss(MulScalar(a, 10.0f), MulScalar(b, 0.1f), 0.5f)
+          .item();
+  EXPECT_NEAR(l1, l2, 1e-4f);
+}
+
+TEST(SemanticInfoNceTest, LowerTemperatureSharpensLoss) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  Tensor b = Tensor::FromVector({2, 2}, {1, 0.1f, 0.1f, 1});
+  // With aligned positives, smaller tau drives the loss lower (sharper).
+  EXPECT_LT(SemanticInfoNceLoss(a, b, 0.1f).item(),
+            SemanticInfoNceLoss(a, b, 1.0f).item());
+}
+
+TEST(SemanticInfoNceTest, GradCheck) {
+  Tensor sample = Tensor::FromVector({3, 2}, {0.4f, -1, 1.2f, 0.6f, -0.8f, 1});
+  GradCheck(Tensor::FromVector({3, 2}, {0.7f, -1.3f, 2.1f, -0.4f, 1.6f, -2.2f}),
+            [&](const Tensor& x) {
+              return SemanticInfoNceLoss(x, sample, 0.5f);
+            });
+  GradCheck(sample, [&](const Tensor& x) {
+    return SemanticInfoNceLoss(
+        Tensor::FromVector({3, 2}, {0.7f, -1.3f, 2.1f, -0.4f, 1.6f, -2.2f}), x,
+        0.5f);
+  });
+}
+
+TEST(ComplementLossTest, FartherComplementGivesLowerLoss) {
+  Tensor anchor = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  Tensor sample = Tensor::FromVector({2, 2}, {1, 0.05f, 0.05f, 1});
+  // Complement aligned with the anchors (bad: they're negatives).
+  Tensor comp_near = Tensor::FromVector({2, 2}, {1, 0.1f, 0.1f, 1});
+  // Complement orthogonal-ish to anchors (good).
+  Tensor comp_far = Tensor::FromVector({2, 2}, {-1, 0.3f, 0.3f, -1});
+  EXPECT_GT(ComplementLoss(anchor, sample, comp_near, 0.2f).item(),
+            ComplementLoss(anchor, sample, comp_far, 0.2f).item());
+}
+
+TEST(ComplementLossTest, GradCheck) {
+  Tensor sample = Tensor::FromVector({2, 2}, {0.4f, -1, 1.2f, 0.6f});
+  Tensor comp = Tensor::FromVector({2, 2}, {-0.5f, 0.9f, 0.2f, -1.1f});
+  GradCheck(Tensor::FromVector({2, 2}, {0.7f, -1.3f, 2.1f, -0.4f}),
+            [&](const Tensor& x) {
+              return ComplementLoss(x, sample, comp, 0.5f);
+            });
+  GradCheck(comp, [&](const Tensor& x) {
+    return ComplementLoss(
+        Tensor::FromVector({2, 2}, {0.7f, -1.3f, 2.1f, -0.4f}), sample, x,
+        0.5f);
+  });
+}
+
+TEST(WeightNormTest, SumsFrobeniusNorms) {
+  Tensor w1 = Tensor::FromVector({1, 2}, {3, 4});   // norm 5
+  Tensor w2 = Tensor::FromVector({2, 1}, {0, 2});   // norm 2
+  EXPECT_NEAR(WeightNormRegularizer({w1, w2}).item(), 7.0f, 1e-4f);
+}
+
+TEST(WeightNormTest, GradCheck) {
+  GradCheck(Tensor::FromVector({2, 2}, {0.7f, -1.3f, 2.1f, -0.4f}),
+            [](const Tensor& x) { return WeightNormRegularizer({x}); });
+}
+
+}  // namespace
+}  // namespace sgcl

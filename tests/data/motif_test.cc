@@ -1,0 +1,106 @@
+#include "data/motif.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+TEST(MotifTest, CycleStructure) {
+  Motif m = MakeCycleMotif(5, 2);
+  EXPECT_EQ(m.num_nodes, 5);
+  EXPECT_EQ(m.edges.size(), 5u);
+  EXPECT_EQ(m.node_types, (std::vector<int>{2, 2, 2, 2, 2}));
+}
+
+TEST(MotifTest, PathStructure) {
+  Motif m = MakePathMotif(4, 0);
+  EXPECT_EQ(m.num_nodes, 4);
+  EXPECT_EQ(m.edges.size(), 3u);
+}
+
+TEST(MotifTest, CliqueEdgeCount) {
+  Motif m = MakeCliqueMotif(5, 1);
+  EXPECT_EQ(m.edges.size(), 10u);
+}
+
+TEST(MotifTest, StarHubTyping) {
+  Motif m = MakeStarMotif(4, 3);
+  EXPECT_EQ(m.num_nodes, 5);
+  EXPECT_EQ(m.edges.size(), 4u);
+  EXPECT_EQ(m.node_types[0], 3);
+  EXPECT_EQ(m.node_types[1], 4);
+}
+
+TEST(MotifTest, WheelStructure) {
+  Motif m = MakeWheelMotif(5, 0);
+  EXPECT_EQ(m.num_nodes, 6);
+  EXPECT_EQ(m.edges.size(), 10u);  // 5 rim + 5 spokes
+}
+
+TEST(MotifTest, BipartiteStructure) {
+  Motif m = MakeBipartiteMotif(2, 3, 1);
+  EXPECT_EQ(m.num_nodes, 5);
+  EXPECT_EQ(m.edges.size(), 6u);
+  EXPECT_EQ(m.node_types[0], 1);
+  EXPECT_EQ(m.node_types[4], 2);
+}
+
+TEST(MotifCatalogTest, WrapsAroundAndStaysInTypeRange) {
+  MotifCatalog catalog(8);
+  EXPECT_GE(catalog.size(), 10);
+  for (int i = 0; i < 3 * catalog.size(); ++i) {
+    const Motif& m = catalog.Get(i);
+    EXPECT_GT(m.num_nodes, 0);
+    for (int t : m.node_types) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, 8);
+    }
+  }
+  // Wrap-around consistency.
+  EXPECT_EQ(catalog.Get(0).name, catalog.Get(catalog.size()).name);
+}
+
+TEST(PlantMotifTest, AppendsNodesAndMarksMask) {
+  Rng rng(1);
+  Graph g(4, 8);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  g.AddUndirectedEdge(2, 3);
+  std::vector<uint8_t> mask(4, 0);
+  Motif m = MakeCycleMotif(5, 3);
+  auto planted = PlantMotif(m, /*num_bridges=*/2, &rng, &g, &mask);
+  EXPECT_EQ(g.num_nodes(), 9);
+  EXPECT_EQ(planted.size(), 5u);
+  ASSERT_EQ(mask.size(), 9u);
+  for (int64_t v = 0; v < 4; ++v) EXPECT_EQ(mask[v], 0);
+  for (int64_t v : planted) {
+    EXPECT_EQ(mask[v], 1);
+    EXPECT_FLOAT_EQ(g.feature(v, 3), 1.0f);  // typed feature set
+  }
+  // Motif internal edges present.
+  EXPECT_TRUE(g.HasEdge(planted[0], planted[1]));
+  EXPECT_TRUE(g.HasEdge(planted[4], planted[0]));
+  // At least one bridge to the background (graph is connected).
+  bool bridged = false;
+  for (int64_t v : planted) {
+    for (int32_t nbr : g.Neighbors(v)) {
+      if (nbr < 4) bridged = true;
+    }
+  }
+  EXPECT_TRUE(bridged);
+}
+
+TEST(PlantMotifTest, EmptyBackgroundStandsAlone) {
+  Rng rng(2);
+  Graph g(0, 8);
+  std::vector<uint8_t> mask;
+  auto planted = PlantMotif(MakeCliqueMotif(4, 0), 2, &rng, &g, &mask);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_undirected_edges(), 6);
+  EXPECT_EQ(planted.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sgcl

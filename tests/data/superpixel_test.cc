@@ -1,0 +1,87 @@
+#include "data/superpixel.h"
+
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+TEST(RasterizeDigitTest, ProducesInkInsideUnitRange) {
+  Rng rng(1);
+  for (int d = 0; d < 10; ++d) {
+    auto canvas = RasterizeDigit(d, &rng);
+    float total = 0.0f;
+    for (float v : canvas) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+      total += v;
+    }
+    EXPECT_GT(total, 10.0f) << "digit " << d << " has almost no ink";
+  }
+}
+
+TEST(RasterizeDigitTest, DigitOneHasLessInkThanEight) {
+  Rng rng(2);
+  auto one = RasterizeDigit(1, &rng);
+  auto eight = RasterizeDigit(8, &rng);
+  float ink1 = 0.0f, ink8 = 0.0f;
+  for (float v : one) ink1 += v;
+  for (float v : eight) ink8 += v;
+  EXPECT_LT(ink1, ink8);
+}
+
+TEST(SuperpixelGraphTest, GridStructure) {
+  Rng rng(3);
+  Graph g = CanvasToSuperpixelGraph(RasterizeDigit(0, &rng));
+  EXPECT_EQ(g.num_nodes(), kSuperpixelGrid * kSuperpixelGrid);
+  EXPECT_EQ(g.feat_dim(), kSuperpixelFeatDim);
+  EXPECT_TRUE(g.Validate().ok());
+  // Corner node has 3 neighbors (right, down, down-right diag).
+  EXPECT_EQ(g.Neighbors(0).size(), 3u);
+  // Interior node has 8 neighbors.
+  const int interior = kSuperpixelGrid + 1;
+  EXPECT_EQ(g.Neighbors(interior).size(), 8u);
+}
+
+TEST(SuperpixelGraphTest, SemanticMaskTracksInk) {
+  Rng rng(4);
+  Graph g = CanvasToSuperpixelGraph(RasterizeDigit(8, &rng));
+  int semantic = 0;
+  for (size_t v = 0; v < g.semantic_mask().size(); ++v) {
+    if (g.semantic_mask()[v]) {
+      ++semantic;
+      EXPECT_GT(g.feature(static_cast<int64_t>(v), 0), 0.25f);
+    }
+  }
+  EXPECT_GT(semantic, 4);
+  EXPECT_LT(semantic, g.num_nodes());
+}
+
+TEST(SuperpixelGraphTest, CoordinateFeaturesNormalized) {
+  Rng rng(5);
+  Graph g = CanvasToSuperpixelGraph(RasterizeDigit(3, &rng));
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.feature(v, 1), 0.0f);
+    EXPECT_LE(g.feature(v, 1), 1.0f);
+    EXPECT_GE(g.feature(v, 2), 0.0f);
+    EXPECT_LE(g.feature(v, 2), 1.0f);
+  }
+}
+
+TEST(SuperpixelDatasetTest, LabelsAndSize) {
+  GraphDataset ds = MakeSuperpixelDataset(3, 6);
+  EXPECT_EQ(ds.size(), 30);
+  EXPECT_EQ(ds.num_classes(), 10);
+  EXPECT_TRUE(ds.Validate().ok());
+  std::vector<int> labels = ds.Labels();
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[29], 9);
+}
+
+TEST(SuperpixelDatasetTest, JitterMakesSamplesDiffer) {
+  GraphDataset ds = MakeSuperpixelDataset(2, 7);
+  // Two samples of digit 0 differ in features.
+  EXPECT_NE(ds.graph(0).features(), ds.graph(1).features());
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,139 @@
+#include "data/synthetic_molecule.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+TEST(MoleculeSamplerTest, ProducesValidMolecules) {
+  Rng rng(1);
+  MoleculeSampler sampler;
+  for (int i = 0; i < 20; ++i) {
+    SampledMolecule mol = sampler.Sample(&rng);
+    EXPECT_TRUE(mol.graph.Validate().ok());
+    EXPECT_GE(mol.graph.num_nodes(), 8);
+    EXPECT_EQ(mol.graph.feat_dim(), kMoleculeFeatDim);
+    EXPECT_GE(mol.graph.scaffold_id(), 0);
+    int groups = 0;
+    for (uint8_t p : mol.groups_present) groups += p;
+    EXPECT_GE(groups, 1);
+    // Semantic nodes = functional group atoms, present and proper subset.
+    int semantic = 0;
+    for (uint8_t m : mol.graph.semantic_mask()) semantic += m;
+    EXPECT_GT(semantic, 0);
+    EXPECT_LT(semantic, mol.graph.num_nodes());
+  }
+}
+
+TEST(MoleculeSamplerTest, CoreSamplerNeverEmitsOodGroups) {
+  Rng rng(2);
+  MoleculeSampler sampler(/*use_ood_groups=*/false);
+  for (int i = 0; i < 50; ++i) {
+    SampledMolecule mol = sampler.Sample(&rng);
+    for (int gid = kNumCoreGroups; gid < kNumAllGroups; ++gid) {
+      EXPECT_EQ(mol.groups_present[gid], 0);
+    }
+  }
+}
+
+TEST(MoleculeSamplerTest, OodSamplerUsesExtendedVocabulary) {
+  Rng rng(3);
+  MoleculeSampler sampler(/*use_ood_groups=*/true);
+  bool saw_ood = false;
+  for (int i = 0; i < 200 && !saw_ood; ++i) {
+    SampledMolecule mol = sampler.Sample(&rng);
+    for (int gid = kNumCoreGroups; gid < kNumAllGroups; ++gid) {
+      if (mol.groups_present[gid]) saw_ood = true;
+    }
+  }
+  EXPECT_TRUE(saw_ood);
+}
+
+TEST(ZincLikeTest, SizeAndValidity) {
+  GraphDataset ds = MakeZincLikeDataset(50, 9);
+  EXPECT_EQ(ds.size(), 50);
+  EXPECT_TRUE(ds.Validate().ok());
+  // Scaffold diversity for the scaffold split.
+  std::set<int> scaffolds;
+  for (const Graph& g : ds.graphs()) scaffolds.insert(g.scaffold_id());
+  EXPECT_GT(scaffolds.size(), 3u);
+}
+
+TEST(MolTaskConfigTest, MatchesPaperTable2Shape) {
+  EXPECT_EQ(GetMolTaskConfig(MolTask::kBbbp).num_tasks, 1);
+  EXPECT_EQ(GetMolTaskConfig(MolTask::kTox21).num_tasks, 12);
+  EXPECT_EQ(GetMolTaskConfig(MolTask::kSider).num_tasks, 27);
+  EXPECT_EQ(GetMolTaskConfig(MolTask::kMuv).num_tasks, 17);
+  EXPECT_TRUE(GetMolTaskConfig(MolTask::kClintox).out_of_vocabulary);
+  EXPECT_EQ(GetMolTaskConfig(MolTask::kHiv).paper_num_graphs, 41127);
+  EXPECT_EQ(AllMolTasks().size(), 8u);
+}
+
+TEST(MolTaskDatasetTest, LabelsAreBinaryOrMissing) {
+  MolDatasetOptions opt;
+  opt.graph_fraction = 0.05;
+  opt.max_graphs = 150;
+  opt.seed = 4;
+  GraphDataset ds = MakeMolTaskDataset(MolTask::kTox21, opt);
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_EQ(ds.num_tasks(), 12);
+  int missing = 0, total = 0;
+  for (const Graph& g : ds.graphs()) {
+    for (float y : g.task_labels()) {
+      EXPECT_TRUE(y == 0.0f || y == 1.0f || y == -1.0f);
+      missing += (y == -1.0f);
+      ++total;
+    }
+  }
+  EXPECT_GT(missing, 0);           // Tox21 has 5% missing
+  EXPECT_LT(missing, total / 2);
+}
+
+TEST(MolTaskDatasetTest, MuvIsMostlyMissing) {
+  MolDatasetOptions opt;
+  opt.graph_fraction = 0.002;
+  opt.max_graphs = 200;
+  opt.seed = 5;
+  GraphDataset ds = MakeMolTaskDataset(MolTask::kMuv, opt);
+  int missing = 0, total = 0;
+  for (const Graph& g : ds.graphs()) {
+    for (float y : g.task_labels()) {
+      missing += (y == -1.0f);
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(missing) / total, 0.4);
+}
+
+TEST(MolTaskDatasetTest, LabelsCorrelateWithGroups) {
+  // The task rule is a function of group indicators; resampling the same
+  // dataset must be deterministic, and labels must not be constant.
+  MolDatasetOptions opt;
+  opt.graph_fraction = 0.1;
+  opt.max_graphs = 200;
+  opt.seed = 6;
+  GraphDataset a = MakeMolTaskDataset(MolTask::kBbbp, opt);
+  GraphDataset b = MakeMolTaskDataset(MolTask::kBbbp, opt);
+  ASSERT_EQ(a.size(), b.size());
+  int positives = 0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i).task_labels(), b.graph(i).task_labels());
+    positives += (a.graph(i).task_labels()[0] == 1.0f);
+  }
+  EXPECT_GT(positives, a.size() / 10);
+  EXPECT_LT(positives, 9 * a.size() / 10);
+}
+
+TEST(MolTaskDatasetTest, CapRespected) {
+  MolDatasetOptions opt;
+  opt.graph_fraction = 1.0;
+  opt.max_graphs = 80;
+  opt.seed = 7;
+  GraphDataset ds = MakeMolTaskDataset(MolTask::kHiv, opt);
+  EXPECT_EQ(ds.size(), 80);
+}
+
+}  // namespace
+}  // namespace sgcl

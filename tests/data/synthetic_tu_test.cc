@@ -1,0 +1,122 @@
+#include "data/synthetic_tu.h"
+
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+SyntheticTuOptions SmallOptions(uint64_t seed = 7) {
+  SyntheticTuOptions opt;
+  opt.graph_fraction = 0.05;
+  opt.node_cap = 40.0;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(TuConfigTest, MatchesPaperTable1) {
+  TuConfig mutag = GetTuConfig(TuDataset::kMutag);
+  EXPECT_EQ(mutag.name, "MUTAG");
+  EXPECT_EQ(mutag.num_graphs, 188);
+  EXPECT_NEAR(mutag.avg_nodes, 17.93, 1e-9);
+  EXPECT_EQ(mutag.num_classes, 2);
+  EXPECT_FALSE(mutag.social);
+  TuConfig collab = GetTuConfig(TuDataset::kCollab);
+  EXPECT_EQ(collab.num_classes, 3);
+  EXPECT_TRUE(collab.social);
+  TuConfig rdtm = GetTuConfig(TuDataset::kRdtM5k);
+  EXPECT_EQ(rdtm.num_classes, 5);
+  EXPECT_EQ(AllTuDatasets().size(), 8u);
+}
+
+TEST(SyntheticTuTest, AllDatasetsValidate) {
+  for (TuDataset which : AllTuDatasets()) {
+    GraphDataset ds = MakeTuDataset(which, SmallOptions());
+    EXPECT_TRUE(ds.Validate().ok()) << ds.name();
+    EXPECT_GE(ds.size(), 10 * ds.num_classes()) << ds.name();
+  }
+}
+
+TEST(SyntheticTuTest, EveryGraphHasSemanticNodes) {
+  GraphDataset ds = MakeTuDataset(TuDataset::kMutag, SmallOptions());
+  for (const Graph& g : ds.graphs()) {
+    ASSERT_EQ(g.semantic_mask().size(), static_cast<size_t>(g.num_nodes()));
+    int semantic = 0;
+    for (uint8_t m : g.semantic_mask()) semantic += m;
+    EXPECT_GT(semantic, 0);
+    EXPECT_LT(semantic, g.num_nodes());  // background exists too
+  }
+}
+
+TEST(SyntheticTuTest, AllClassesRepresented) {
+  for (TuDataset which : {TuDataset::kMutag, TuDataset::kCollab,
+                          TuDataset::kRdtM5k}) {
+    GraphDataset ds = MakeTuDataset(which, SmallOptions());
+    const std::vector<int> labels = ds.Labels();
+    std::set<int> classes(labels.begin(), labels.end());
+    EXPECT_EQ(static_cast<int>(classes.size()), ds.num_classes())
+        << ds.name();
+  }
+}
+
+TEST(SyntheticTuTest, NodeCapRespected) {
+  GraphDataset ds = MakeTuDataset(TuDataset::kDd, SmallOptions());
+  DatasetStats s = ds.Stats();
+  EXPECT_LT(s.avg_nodes, 40.0 * 1.6);  // cap + motif + spread
+  EXPECT_GT(s.avg_nodes, 10.0);
+}
+
+TEST(SyntheticTuTest, MoleculeStatsTrackPaperShape) {
+  // Uncapped MUTAG should land near the paper's 17.93 nodes / 19.79 edges.
+  SyntheticTuOptions opt;
+  opt.graph_fraction = 1.0;
+  opt.seed = 3;
+  GraphDataset ds = MakeTuDataset(TuDataset::kMutag, opt);
+  DatasetStats s = ds.Stats();
+  EXPECT_EQ(s.num_graphs, 188);
+  EXPECT_NEAR(s.avg_nodes, 17.93, 3.0);
+  EXPECT_NEAR(s.avg_edges, 19.79, 5.0);
+}
+
+TEST(SyntheticTuTest, SocialGraphsAreDenserThanMolecules) {
+  GraphDataset imdb = MakeTuDataset(TuDataset::kImdbB, SmallOptions());
+  GraphDataset nci = MakeTuDataset(TuDataset::kNci1, SmallOptions());
+  DatasetStats si = imdb.Stats();
+  DatasetStats sn = nci.Stats();
+  const double di = si.avg_edges / si.avg_nodes;
+  const double dn = sn.avg_edges / sn.avg_nodes;
+  EXPECT_GT(di, dn);
+}
+
+TEST(SyntheticTuTest, DeterministicForSeed) {
+  GraphDataset a = MakeTuDataset(TuDataset::kProteins, SmallOptions(11));
+  GraphDataset b = MakeTuDataset(TuDataset::kProteins, SmallOptions(11));
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.graph(i).num_nodes(), b.graph(i).num_nodes());
+    EXPECT_EQ(a.graph(i).label(), b.graph(i).label());
+    EXPECT_EQ(a.graph(i).features(), b.graph(i).features());
+  }
+  GraphDataset c = MakeTuDataset(TuDataset::kProteins, SmallOptions(12));
+  bool any_diff = false;
+  for (int64_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (a.graph(i).num_nodes() != c.graph(i).num_nodes()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTuTest, SocialFeaturesAreDegreeBuckets) {
+  GraphDataset ds = MakeTuDataset(TuDataset::kImdbB, SmallOptions());
+  const Graph& g = ds.graph(0);
+  // One-hot rows.
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    float total = 0.0f;
+    for (int64_t j = 0; j < g.feat_dim(); ++j) total += g.feature(v, j);
+    EXPECT_FLOAT_EQ(total, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace sgcl

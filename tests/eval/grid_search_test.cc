@@ -1,0 +1,84 @@
+#include "eval/grid_search.h"
+
+#include <cmath>
+
+#include "data/synthetic_tu.h"
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+TEST(GridSearchTest, FindsBestScoreWithStubEvaluator) {
+  // Stub evaluator: score peaks at tau = 0.3 and rho = 0.7.
+  auto evaluate = [](const SgclConfig& cfg) {
+    return 1.0 - std::fabs(cfg.tau - 0.3) - std::fabs(cfg.rho - 0.7);
+  };
+  SgclConfig base = MakeUnsupervisedConfig(8);
+  GridSearchSpace space;
+  GridSearchResult result = GridSearchSgcl(base, space, evaluate);
+  EXPECT_FLOAT_EQ(result.best_config.tau, 0.3f);
+  EXPECT_DOUBLE_EQ(result.best_config.rho, 0.7);
+  EXPECT_NEAR(result.best_score, 1.0, 1e-6);
+  // base + every non-duplicate grid point was tried.
+  EXPECT_GT(result.trials.size(), 15u);
+}
+
+TEST(GridSearchTest, EmptyAxesKeepBaseValues) {
+  int calls = 0;
+  auto evaluate = [&](const SgclConfig&) {
+    ++calls;
+    return 0.5;
+  };
+  SgclConfig base = MakeUnsupervisedConfig(8);
+  GridSearchSpace space;
+  space.lambda_c.clear();
+  space.lambda_w.clear();
+  space.rho.clear();
+  space.tau.clear();
+  GridSearchResult result = GridSearchSgcl(base, space, evaluate);
+  EXPECT_EQ(calls, 1);  // only the base config
+  EXPECT_FLOAT_EQ(result.best_config.tau, base.tau);
+}
+
+TEST(GridSearchTest, TrialsRecordDescriptions) {
+  auto evaluate = [](const SgclConfig& cfg) { return cfg.tau; };
+  SgclConfig base = MakeUnsupervisedConfig(8);
+  GridSearchSpace space;
+  space.lambda_c.clear();
+  space.lambda_w.clear();
+  space.rho.clear();
+  space.tau = {0.1f, 0.5f};
+  GridSearchResult result = GridSearchSgcl(base, space, evaluate);
+  ASSERT_EQ(result.trials.size(), 3u);  // base + two taus
+  EXPECT_EQ(result.trials[0].first, "base");
+  EXPECT_NE(result.trials[1].first.find("tau="), std::string::npos);
+  EXPECT_FLOAT_EQ(result.best_config.tau, 0.5f);
+}
+
+TEST(GridSearchTest, EndToEndOnTinyDataset) {
+  SyntheticTuOptions opt;
+  opt.graph_fraction = 0.05;
+  opt.node_cap = 12;
+  opt.seed = 77;
+  GraphDataset ds = MakeTuDataset(TuDataset::kMutag, opt);
+  SgclConfig base = MakeUnsupervisedConfig(ds.feat_dim());
+  base.encoder.hidden_dim = 8;
+  base.encoder.num_layers = 2;
+  base.proj_dim = 8;
+  base.epochs = 2;
+  base.batch_size = 8;
+  GridSearchSpace space;
+  space.lambda_c.clear();
+  space.lambda_w.clear();
+  space.rho.clear();
+  space.tau = {0.2f, 0.4f};
+  auto evaluate = MakeUnsupervisedGridEvaluator(&ds, /*num_seeds=*/1,
+                                                /*cv_folds=*/3,
+                                                /*base_seed=*/5);
+  GridSearchResult result = GridSearchSgcl(base, space, evaluate);
+  EXPECT_GT(result.best_score, 0.3);
+  EXPECT_LE(result.best_score, 1.0);
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,71 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1, 1}, {1, 0, 0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({2, 2}, {2, 2}), 1.0);
+}
+
+TEST(RocAucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresGiveHalf) {
+  // Symmetric construction: AUC exactly 0.5.
+  EXPECT_DOUBLE_EQ(RocAuc({0.3, 0.7, 0.3, 0.7}, {0, 0, 1, 1}), 0.5);
+}
+
+TEST(RocAucTest, TiesGetMidranks) {
+  // One tie between a positive and a negative at the same score.
+  const double auc = RocAuc({0.5, 0.5, 0.9}, {0, 1, 1});
+  EXPECT_NEAR(auc, 0.75, 1e-9);
+}
+
+TEST(RocAucTest, SingleClassFallsBackToHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(MeanStdTest, Computation) {
+  MeanStd ms = ComputeMeanStd({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.std, 2.0);
+}
+
+TEST(AverageRanksTest, SimpleOrdering) {
+  // Method 0 wins both datasets, method 2 loses both.
+  std::vector<std::vector<double>> scores = {
+      {0.9, 0.8}, {0.5, 0.6}, {0.1, 0.2}};
+  auto ranks = AverageRanks(scores);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(AverageRanksTest, TiesShareRank) {
+  std::vector<std::vector<double>> scores = {{0.5}, {0.5}, {0.1}};
+  auto ranks = AverageRanks(scores);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(AverageRanksTest, MissingEntriesSkipped) {
+  const double nan = std::nan("");
+  std::vector<std::vector<double>> scores = {
+      {0.9, nan}, {0.5, 0.7}, {0.1, 0.3}};
+  auto ranks = AverageRanks(scores);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);       // only dataset 0
+  EXPECT_DOUBLE_EQ(ranks[1], (2.0 + 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(ranks[2], (3.0 + 2.0) / 2.0);
+}
+
+}  // namespace
+}  // namespace sgcl

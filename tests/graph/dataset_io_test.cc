@@ -1,0 +1,180 @@
+#include "graph/dataset_io.h"
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "data/synthetic_molecule.h"
+#include "data/synthetic_tu.h"
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void ExpectDatasetsEqual(const GraphDataset& a, const GraphDataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.num_classes(), b.num_classes());
+  EXPECT_EQ(a.num_tasks(), b.num_tasks());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const Graph& ga = a.graph(i);
+    const Graph& gb = b.graph(i);
+    EXPECT_EQ(ga.num_nodes(), gb.num_nodes());
+    EXPECT_EQ(ga.features(), gb.features());
+    EXPECT_EQ(ga.num_directed_edges(), gb.num_directed_edges());
+    EXPECT_EQ(ga.label(), gb.label());
+    EXPECT_EQ(ga.scaffold_id(), gb.scaffold_id());
+    EXPECT_EQ(ga.task_labels(), gb.task_labels());
+    EXPECT_EQ(ga.semantic_mask(), gb.semantic_mask());
+    // Edge sets match (order may differ; use HasEdge).
+    for (size_t e = 0; e < ga.edge_src().size(); ++e) {
+      EXPECT_TRUE(gb.HasEdge(ga.edge_src()[e], ga.edge_dst()[e]));
+    }
+  }
+}
+
+TEST(DatasetIoTest, TuRoundTrip) {
+  SyntheticTuOptions opt;
+  opt.graph_fraction = 0.05;
+  opt.node_cap = 15;
+  opt.seed = 10;
+  GraphDataset original = MakeTuDataset(TuDataset::kProteins, opt);
+  const std::string path = TempPath("proteins.bin");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsEqual(original, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MultiTaskRoundTrip) {
+  MolDatasetOptions opt;
+  opt.graph_fraction = 0.02;
+  opt.max_graphs = 70;
+  opt.seed = 11;
+  GraphDataset original = MakeMolTaskDataset(MolTask::kTox21, opt);
+  const std::string path = TempPath("tox21.bin");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsEqual(original, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFileIsNotFound) {
+  auto result = LoadDataset(TempPath("missing_dataset.bin"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetIoTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage_dataset.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("nope", f);
+    std::fclose(f);
+  }
+  auto result = LoadDataset(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, FuzzTruncationNeverCrashes) {
+  // Property: loading a prefix of a valid file at any cut point must
+  // return an error status (never crash, never return a bogus dataset
+  // that fails validation silently).
+  SyntheticTuOptions opt;
+  opt.graph_fraction = 0.03;
+  opt.node_cap = 10;
+  opt.seed = 99;
+  GraphDataset original = MakeTuDataset(TuDataset::kMutag, opt);
+  const std::string full_path = TempPath("fuzz_full.bin");
+  ASSERT_TRUE(SaveDataset(original, full_path).ok());
+  std::FILE* f = std::fopen(full_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  Rng rng(7);
+  const std::string cut_path = TempPath("fuzz_cut.bin");
+  for (int trial = 0; trial < 25; ++trial) {
+    const long cut = 1 + rng.UniformInt(size - 1);
+    // Copy a prefix.
+    std::FILE* in = std::fopen(full_path.c_str(), "rb");
+    std::FILE* out = std::fopen(cut_path.c_str(), "wb");
+    std::vector<char> buffer(static_cast<size_t>(cut));
+    ASSERT_EQ(std::fread(buffer.data(), 1, buffer.size(), in), buffer.size());
+    ASSERT_EQ(std::fwrite(buffer.data(), 1, buffer.size(), out),
+              buffer.size());
+    std::fclose(in);
+    std::fclose(out);
+    auto result = LoadDataset(cut_path);
+    EXPECT_FALSE(result.ok()) << "cut at " << cut << " of " << size;
+  }
+  std::remove(full_path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(DatasetIoTest, FuzzByteFlipsNeverCrash) {
+  // Property: flipping a random byte either still parses into a dataset
+  // that passes Validate() (flips in float payloads) or errors cleanly.
+  SyntheticTuOptions opt;
+  opt.graph_fraction = 0.03;
+  opt.node_cap = 10;
+  opt.seed = 100;
+  GraphDataset original = MakeTuDataset(TuDataset::kMutag, opt);
+  const std::string full_path = TempPath("fuzzflip_full.bin");
+  ASSERT_TRUE(SaveDataset(original, full_path).ok());
+  std::FILE* f = std::fopen(full_path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> bytes(static_cast<size_t>(size));
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  Rng rng(8);
+  const std::string flip_path = TempPath("fuzzflip_cut.bin");
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<char> corrupted = bytes;
+    const long pos = rng.UniformInt(size);
+    corrupted[pos] ^= static_cast<char>(1 + rng.UniformInt(255));
+    std::FILE* out = std::fopen(flip_path.c_str(), "wb");
+    ASSERT_EQ(std::fwrite(corrupted.data(), 1, corrupted.size(), out),
+              corrupted.size());
+    std::fclose(out);
+    auto result = LoadDataset(flip_path);
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());
+    }
+  }
+  std::remove(full_path.c_str());
+  std::remove(flip_path.c_str());
+}
+
+TEST(DatasetIoTest, TruncatedFileRejected) {
+  SyntheticTuOptions opt;
+  opt.graph_fraction = 0.05;
+  opt.node_cap = 12;
+  opt.seed = 12;
+  GraphDataset original = MakeTuDataset(TuDataset::kMutag, opt);
+  const std::string path = TempPath("trunc_dataset.bin");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  // Chop the file in half.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  }
+  auto result = LoadDataset(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sgcl

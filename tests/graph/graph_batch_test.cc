@@ -1,0 +1,77 @@
+#include "graph/graph_batch.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sgcl {
+namespace {
+
+TEST(GraphBatchTest, SingleGraph) {
+  Graph g = testing::HouseGraph();
+  GraphBatch b = GraphBatch::FromGraphPtrs({&g});
+  EXPECT_EQ(b.num_graphs, 1);
+  EXPECT_EQ(b.num_nodes, 5);
+  EXPECT_EQ(b.features.rows(), 5);
+  EXPECT_EQ(b.features.cols(), 3);
+  EXPECT_EQ(b.edge_src.size(), g.edge_src().size());
+  EXPECT_EQ(b.node_offsets, (std::vector<int64_t>{0, 5}));
+}
+
+TEST(GraphBatchTest, OffsetsShiftEdges) {
+  Graph a = testing::PathGraph3();
+  Graph b = testing::HouseGraph(2);
+  GraphBatch batch = GraphBatch::FromGraphPtrs({&a, &b});
+  EXPECT_EQ(batch.num_nodes, 8);
+  EXPECT_EQ(batch.node_offsets, (std::vector<int64_t>{0, 3, 8}));
+  // All edges of the second graph reference nodes >= 3.
+  for (size_t r = a.edge_src().size(); r < batch.edge_src.size(); ++r) {
+    EXPECT_GE(batch.edge_src[r], 3);
+    EXPECT_GE(batch.edge_dst[r], 3);
+  }
+  // Node -> graph mapping.
+  EXPECT_EQ(batch.node_graph_ids[0], 0);
+  EXPECT_EQ(batch.node_graph_ids[2], 0);
+  EXPECT_EQ(batch.node_graph_ids[3], 1);
+  EXPECT_EQ(batch.node_graph_ids[7], 1);
+}
+
+TEST(GraphBatchTest, FeaturesConcatenatedInOrder) {
+  Graph a = testing::PathGraph3(2);
+  Graph b = testing::HouseGraph(2);
+  GraphBatch batch = GraphBatch::FromGraphPtrs({&a, &b});
+  EXPECT_FLOAT_EQ(batch.features.At(0, 0), a.feature(0, 0));
+  EXPECT_FLOAT_EQ(batch.features.At(2, 1), a.feature(2, 1));
+  EXPECT_FLOAT_EQ(batch.features.At(3, 0), b.feature(0, 0));
+  EXPECT_FLOAT_EQ(batch.features.At(7, 1), b.feature(4, 1));
+}
+
+TEST(GraphBatchTest, EmptyGraphContributesEmptySegment) {
+  Graph a = testing::PathGraph3(2);
+  Graph empty(0, 2);
+  Graph c = testing::HouseGraph(2);
+  GraphBatch batch = GraphBatch::FromGraphPtrs({&a, &empty, &c});
+  EXPECT_EQ(batch.num_graphs, 3);
+  EXPECT_EQ(batch.node_offsets, (std::vector<int64_t>{0, 3, 3, 8}));
+}
+
+TEST(GraphBatchTest, DegreesMatchPerGraphDegrees) {
+  Graph a = testing::PathGraph3(3);
+  Graph b = testing::HouseGraph(3);
+  GraphBatch batch = GraphBatch::FromGraphPtrs({&a, &b});
+  auto deg = batch.Degrees();
+  auto da = a.Degrees();
+  auto db = b.Degrees();
+  for (int64_t v = 0; v < 3; ++v) EXPECT_EQ(deg[v], da[v]);
+  for (int64_t v = 0; v < 5; ++v) EXPECT_EQ(deg[3 + v], db[v]);
+}
+
+TEST(GraphBatchTest, VectorOverloadMatchesPointerOverload) {
+  std::vector<Graph> graphs = {testing::PathGraph3(2),
+                               testing::HouseGraph(2)};
+  GraphBatch batch = GraphBatch::FromGraphs(graphs);
+  EXPECT_EQ(batch.num_graphs, 2);
+  EXPECT_EQ(batch.num_nodes, 8);
+}
+
+}  // namespace
+}  // namespace sgcl

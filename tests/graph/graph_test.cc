@@ -1,0 +1,122 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sgcl {
+namespace {
+
+TEST(GraphTest, ConstructionAndFeatures) {
+  Graph g(3, 2);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.feat_dim(), 2);
+  EXPECT_EQ(g.num_directed_edges(), 0);
+  g.set_feature(1, 1, 7.0f);
+  EXPECT_FLOAT_EQ(g.feature(1, 1), 7.0f);
+  EXPECT_FLOAT_EQ(g.feature(0, 0), 0.0f);
+}
+
+TEST(GraphTest, AddEdgeStoresBothDirections) {
+  Graph g(3, 1);
+  g.AddUndirectedEdge(0, 2);
+  EXPECT_EQ(g.num_directed_edges(), 2);
+  EXPECT_EQ(g.num_undirected_edges(), 1);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(GraphTest, DuplicateEdgeIgnored) {
+  Graph g(3, 1);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 0);
+  g.AddUndirectedEdge(0, 1);
+  EXPECT_EQ(g.num_directed_edges(), 2);
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g(3, 1);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  EXPECT_TRUE(g.RemoveUndirectedEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.num_directed_edges(), 2);
+  EXPECT_FALSE(g.RemoveUndirectedEdge(0, 1));
+}
+
+TEST(GraphTest, DegreesAndNeighbors) {
+  Graph g = testing::HouseGraph();
+  auto deg = g.Degrees();
+  EXPECT_EQ(deg[0], 3);  // 1, 3, 4
+  EXPECT_EQ(deg[4], 2);  // 0, 1
+  auto nbrs = g.Neighbors(4);
+  std::sort(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(nbrs, (std::vector<int32_t>{0, 1}));
+}
+
+TEST(GraphTest, SelfLoopCountsOnce) {
+  Graph g(2, 1);
+  g.AddUndirectedEdge(0, 0);
+  EXPECT_EQ(g.num_directed_edges(), 1);
+  EXPECT_EQ(g.Degrees()[0], 1);
+}
+
+TEST(GraphTest, ValidateAcceptsWellFormed) {
+  Graph g = testing::HouseGraph();
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphTest, ValidateRejectsBadSemanticMask) {
+  Graph g = testing::PathGraph3();
+  g.set_semantic_mask({1, 0});  // wrong size
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(InducedSubgraphTest, KeepsStructureAndRenumbers) {
+  Graph g = testing::HouseGraph();
+  // Keep nodes 0, 1, 4 (a triangle).
+  std::vector<uint8_t> keep = {1, 1, 0, 0, 1};
+  Graph sub = g.InducedSubgraph(keep);
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(sub.num_undirected_edges(), 3);
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_TRUE(sub.HasEdge(0, 2));  // old 0-4
+  EXPECT_TRUE(sub.HasEdge(1, 2));  // old 1-4
+  // Features carried over: new node 2 is old node 4.
+  EXPECT_FLOAT_EQ(sub.feature(2, 0), g.feature(4, 0));
+  EXPECT_EQ(sub.label(), g.label());
+}
+
+TEST(InducedSubgraphTest, CarriesSemanticMask) {
+  Graph g = testing::HouseGraph();
+  g.set_semantic_mask({1, 1, 0, 0, 1});
+  Graph sub = g.InducedSubgraph({0, 1, 1, 1, 1});
+  ASSERT_EQ(sub.semantic_mask().size(), 4u);
+  EXPECT_EQ(sub.semantic_mask()[0], 1);  // old node 1
+  EXPECT_EQ(sub.semantic_mask()[1], 0);  // old node 2
+  EXPECT_EQ(sub.semantic_mask()[3], 1);  // old node 4
+}
+
+TEST(InducedSubgraphTest, EmptyKeepYieldsEmptyGraph) {
+  Graph g = testing::PathGraph3();
+  Graph sub = g.InducedSubgraph({0, 0, 0});
+  EXPECT_EQ(sub.num_nodes(), 0);
+  EXPECT_EQ(sub.num_directed_edges(), 0);
+  EXPECT_TRUE(sub.Validate().ok());
+}
+
+TEST(InducedSubgraphTest, PreservesSelfLoop) {
+  Graph g(3, 1);
+  g.AddUndirectedEdge(0, 0);
+  g.AddUndirectedEdge(0, 1);
+  Graph sub = g.InducedSubgraph({1, 0, 1});
+  EXPECT_EQ(sub.num_nodes(), 2);
+  EXPECT_TRUE(sub.HasEdge(0, 0));
+  EXPECT_FALSE(sub.HasEdge(0, 1));
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,99 @@
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+
+#include "core/sgcl_model.h"
+#include "gtest/gtest.h"
+#include "nn/encoder.h"
+#include "test_util.h"
+
+namespace sgcl {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+EncoderConfig SmallConfig() {
+  EncoderConfig cfg;
+  cfg.arch = GnnArch::kGin;
+  cfg.in_dim = 3;
+  cfg.hidden_dim = 8;
+  cfg.num_layers = 2;
+  return cfg;
+}
+
+TEST(CheckpointTest, SaveLoadReproducesOutputs) {
+  const std::string path = TempPath("enc.ckpt");
+  Rng rng_a(1), rng_b(2);
+  GnnEncoder a(SmallConfig(), &rng_a);
+  GnnEncoder b(SmallConfig(), &rng_b);  // different init
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  ASSERT_TRUE(LoadCheckpoint(path, &b).ok());
+  Graph g = testing::HouseGraph(3);
+  GraphBatch batch = GraphBatch::FromGraphPtrs({&g});
+  Tensor ya = a.EncodeGraphs(batch);
+  Tensor yb = b.EncodeGraphs(batch);
+  for (int64_t i = 0; i < ya.numel(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[i], yb.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, WholeSgclModelRoundTrips) {
+  const std::string path = TempPath("model.ckpt");
+  SgclConfig cfg = MakeUnsupervisedConfig(3);
+  cfg.encoder.hidden_dim = 8;
+  cfg.encoder.num_layers = 2;
+  cfg.proj_dim = 8;
+  Rng rng_a(3), rng_b(4);
+  SgclModel a(cfg, &rng_a);
+  SgclModel b(cfg, &rng_b);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  ASSERT_TRUE(LoadCheckpoint(path, &b).ok());
+  Graph g = testing::HouseGraph(3);
+  std::vector<float> ka = a.NodeLipschitzConstants(g);
+  std::vector<float> kb = b.NodeLipschitzConstants(g);
+  EXPECT_EQ(ka, kb);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ArchitectureMismatchRejected) {
+  const std::string path = TempPath("mismatch.ckpt");
+  Rng rng(5);
+  GnnEncoder a(SmallConfig(), &rng);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  EncoderConfig other = SmallConfig();
+  other.hidden_dim = 16;  // different shapes
+  GnnEncoder b(other, &rng);
+  Status st = LoadCheckpoint(path, &b);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  Rng rng(6);
+  GnnEncoder enc(SmallConfig(), &rng);
+  Status st = LoadCheckpoint(TempPath("does_not_exist.ckpt"), &enc);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage.ckpt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a checkpoint", f);
+    std::fclose(f);
+  }
+  Rng rng(7);
+  GnnEncoder enc(SmallConfig(), &rng);
+  Status st = LoadCheckpoint(path, &enc);
+  EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sgcl

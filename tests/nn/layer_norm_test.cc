@@ -1,0 +1,98 @@
+#include "nn/layer_norm.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/encoder.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "test_util.h"
+
+namespace sgcl {
+namespace {
+
+using testing::GradCheck;
+
+TEST(LayerNormTest, NormalizesRowsToZeroMeanUnitVar) {
+  LayerNorm norm(4);
+  Tensor x = Tensor::FromVector({2, 4}, {1, 2, 3, 4, -10, 0, 10, 20});
+  Tensor y = norm.Forward(x);
+  for (int64_t i = 0; i < 2; ++i) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t j = 0; j < 4; ++j) mean += y.At(i, j);
+    mean /= 4.0;
+    for (int64_t j = 0; j < 4; ++j) {
+      var += (y.At(i, j) - mean) * (y.At(i, j) - mean);
+    }
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNormTest, ScaleInvarianceOfInput) {
+  LayerNorm norm(3);
+  Tensor x = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor x10 = Tensor::FromVector({1, 3}, {10, 20, 30});
+  Tensor y1 = norm.Forward(x);
+  Tensor y2 = norm.Forward(x10);
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(y1.data()[j], y2.data()[j], 1e-4f);
+  }
+}
+
+TEST(LayerNormTest, GradCheckInput) {
+  LayerNorm norm(3);
+  // Non-uniform downstream weights exercise the full Jacobian.
+  Tensor w = Tensor::FromVector({2, 3}, {1, -2, 0.5f, 3, 1, -1});
+  GradCheck(Tensor::FromVector({2, 3}, {0.7f, -1.3f, 2.1f, -0.4f, 1.6f, -2.2f}),
+            [&](const Tensor& x) { return Sum(Mul(norm.Forward(x), w)); });
+}
+
+TEST(LayerNormTest, GammaBetaReceiveGradients) {
+  LayerNorm norm(3);
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, -1, 0, 1});
+  for (Tensor& p : norm.Parameters()) p.ZeroGrad();
+  Tensor loss = SumSquares(norm.Forward(x));
+  loss.Backward();
+  auto params = norm.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  double gamma_mass = 0.0, beta_mass = 0.0;
+  for (float g : params[0].impl()->grad) gamma_mass += std::fabs(g);
+  for (float g : params[1].impl()->grad) beta_mass += std::fabs(g);
+  EXPECT_GT(gamma_mass, 1e-6);
+  EXPECT_GT(beta_mass, 1e-6);
+}
+
+TEST(LayerNormTest, EncoderWithNormTrains) {
+  Rng rng(5);
+  EncoderConfig cfg;
+  cfg.arch = GnnArch::kGin;
+  cfg.in_dim = 3;
+  cfg.hidden_dim = 8;
+  cfg.num_layers = 2;
+  cfg.use_layer_norm = true;
+  GnnEncoder enc(cfg, &rng);
+  // 2 conv layers x (4 MLP tensors) + 2 norms x (gamma, beta) = 12.
+  EXPECT_EQ(enc.Parameters().size(), 12u);
+  Graph a = testing::PathGraph3(3);
+  Graph b = testing::HouseGraph(3);
+  GraphBatch batch = GraphBatch::FromGraphPtrs({&a, &b});
+  Tensor head = Tensor::Zeros({8, 2}, /*requires_grad=*/true);
+  std::vector<Tensor> params = enc.Parameters();
+  params.push_back(head);
+  Adam opt(params, 0.01f);
+  float last = 0.0f;
+  for (int step = 0; step < 150; ++step) {
+    opt.ZeroGrad();
+    Tensor logits = MatMul(enc.EncodeGraphs(batch), head);
+    Tensor loss = CrossEntropyWithLogits(logits, {0, 1});
+    loss.Backward();
+    opt.Step();
+    last = loss.item();
+  }
+  EXPECT_LT(last, 0.1f);
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,156 @@
+// Edge-case coverage for the tensor engine: empty shapes, zero-edge
+// graphs, Softplus, edge-weighted GIN messages, and debug formatting.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/gin_conv.h"
+#include "nn/pooling.h"
+#include "tensor/graph_ops.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace sgcl {
+namespace {
+
+using testing::GradCheck;
+
+TEST(TensorEdgeCaseTest, DefaultTensorIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.dim(), 0);
+  EXPECT_FALSE(t.requires_grad());
+}
+
+TEST(TensorEdgeCaseTest, ZeroRowMatMul) {
+  Tensor a = Tensor::Zeros({0, 3});
+  Tensor b = Tensor::Zeros({3, 4});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 0);
+  EXPECT_EQ(c.cols(), 4);
+  EXPECT_EQ(c.numel(), 0);
+}
+
+TEST(TensorEdgeCaseTest, EmptyGatherAndScatter) {
+  Tensor x = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor gathered = GatherRows(x, {});
+  EXPECT_EQ(gathered.rows(), 0);
+  Tensor scattered = ScatterAddRows(gathered, {}, 3);
+  EXPECT_EQ(scattered.rows(), 3);
+  for (float v : scattered.values()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorEdgeCaseTest, DebugStringMentionsShape) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  const std::string s = t.DebugString();
+  EXPECT_NE(s.find("2 x 3"), std::string::npos);
+}
+
+TEST(SoftplusTest, ForwardValuesAndStability) {
+  EXPECT_NEAR(Softplus(Tensor::Scalar(0.0f)).item(), std::log(2.0f), 1e-5f);
+  // Large positive: softplus(x) ~ x.
+  EXPECT_NEAR(Softplus(Tensor::Scalar(50.0f)).item(), 50.0f, 1e-3f);
+  // Large negative: ~0, no overflow.
+  const float v = Softplus(Tensor::Scalar(-50.0f)).item();
+  EXPECT_GE(v, 0.0f);
+  EXPECT_LT(v, 1e-6f);
+}
+
+TEST(SoftplusTest, GradCheck) {
+  GradCheck(Tensor::FromVector({1, 4}, {-2.0f, -0.3f, 0.4f, 1.7f}),
+            [](const Tensor& x) { return Sum(Softplus(x)); });
+}
+
+TEST(GinConvTest, EdgeWeightsScaleMessages) {
+  Rng rng(1);
+  GinConv conv(2, 3, &rng);
+  Graph g(2, 2);
+  g.AddUndirectedEdge(0, 1);
+  g.set_feature(0, 0, 1.0f);
+  g.set_feature(1, 0, 2.0f);
+  GraphBatch batch = GraphBatch::FromGraphPtrs({&g});
+  // Zero edge weights must equal an edgeless graph.
+  GraphBatch weighted = batch;
+  weighted.edge_weights = Tensor::Zeros({2, 1});
+  Graph isolated(2, 2);
+  isolated.set_feature(0, 0, 1.0f);
+  isolated.set_feature(1, 0, 2.0f);
+  GraphBatch iso_batch = GraphBatch::FromGraphPtrs({&isolated});
+  Tensor yw = conv.Forward(weighted.features, weighted);
+  Tensor yi = conv.Forward(iso_batch.features, iso_batch);
+  for (int64_t i = 0; i < yw.numel(); ++i) {
+    EXPECT_NEAR(yw.data()[i], yi.data()[i], 1e-5f);
+  }
+  // Unit edge weights must equal the unweighted forward.
+  GraphBatch unit = batch;
+  unit.edge_weights = Tensor::Ones({2, 1});
+  Tensor yu = conv.Forward(unit.features, unit);
+  Tensor y = conv.Forward(batch.features, batch);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(yu.data()[i], y.data()[i], 1e-5f);
+  }
+}
+
+TEST(GinConvTest, GradientFlowsThroughEdgeWeights) {
+  Rng rng(2);
+  GinConv conv(2, 3, &rng);
+  Graph g = testing::PathGraph3(2);
+  GraphBatch batch = GraphBatch::FromGraphPtrs({&g});
+  Tensor w = Tensor::Full({static_cast<int64_t>(batch.edge_src.size()), 1},
+                          0.7f, /*requires_grad=*/true);
+  GraphBatch weighted = batch;
+  weighted.edge_weights = w;
+  Tensor loss = SumSquares(conv.Forward(weighted.features, weighted));
+  loss.Backward();
+  double mass = 0.0;
+  for (float gv : w.impl()->grad) mass += std::fabs(gv);
+  EXPECT_GT(mass, 1e-8);
+}
+
+TEST(PoolingEdgeCaseTest, EmptyGraphPoolsToZeros) {
+  Graph a = testing::PathGraph3(2);
+  Graph empty(0, 2);
+  GraphBatch batch = GraphBatch::FromGraphPtrs({&a, &empty});
+  Tensor x = Tensor::Ones({batch.num_nodes, 4});
+  for (PoolingKind kind :
+       {PoolingKind::kSum, PoolingKind::kMean, PoolingKind::kMax}) {
+    Tensor pooled = Pool(x, batch, kind);
+    ASSERT_EQ(pooled.rows(), 2);
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(pooled.At(1, j), 0.0f) << PoolingKindToString(kind);
+    }
+  }
+}
+
+TEST(GraphEdgeCaseTest, AddNodesExtendsFeaturesAndMask) {
+  Graph g(2, 3);
+  g.set_feature(1, 2, 5.0f);
+  g.set_semantic_mask({1, 0});
+  const int64_t first = g.AddNodes(2);
+  EXPECT_EQ(first, 2);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_FLOAT_EQ(g.feature(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(g.feature(3, 0), 0.0f);
+  ASSERT_EQ(g.semantic_mask().size(), 4u);
+  EXPECT_EQ(g.semantic_mask()[0], 1);
+  EXPECT_EQ(g.semantic_mask()[2], 0);
+}
+
+TEST(GraphEdgeCaseTest, RemoveSelfLoop) {
+  Graph g(2, 1);
+  g.AddUndirectedEdge(0, 0);
+  g.AddUndirectedEdge(0, 1);
+  EXPECT_TRUE(g.RemoveUndirectedEdge(0, 0));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.num_directed_edges(), 2);
+}
+
+TEST(GraphEdgeCaseTest, InducedSubgraphKeepsTaskLabels) {
+  Graph g = testing::PathGraph3(2);
+  g.set_task_labels({1.0f, -1.0f, 0.0f});
+  Graph sub = g.InducedSubgraph({1, 0, 1});
+  EXPECT_EQ(sub.task_labels(), g.task_labels());
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,119 @@
+#include "tensor/graph_ops.h"
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace sgcl {
+namespace {
+
+using testing::GradCheck;
+
+TEST(GatherRowsTest, Forward) {
+  Tensor x = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor y = GatherRows(x, {2, 0, 2});
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.At(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(y.At(2, 1), 6.0f);
+}
+
+TEST(ScatterAddRowsTest, ForwardAccumulates) {
+  Tensor x = Tensor::FromVector({3, 2}, {1, 1, 2, 2, 3, 3});
+  Tensor y = ScatterAddRows(x, {0, 0, 2}, 4);
+  EXPECT_EQ(y.rows(), 4);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 3.0f);  // rows 0 and 1 summed
+  EXPECT_FLOAT_EQ(y.At(1, 0), 0.0f);  // untouched
+  EXPECT_FLOAT_EQ(y.At(2, 1), 3.0f);
+  EXPECT_FLOAT_EQ(y.At(3, 0), 0.0f);
+}
+
+TEST(GatherScatterTest, RoundTripNeighborSum) {
+  // Path 0-1-2: neighbor sum at node 1 is x0+x2.
+  std::vector<int32_t> src = {0, 1, 1, 2};
+  std::vector<int32_t> dst = {1, 0, 2, 1};
+  Tensor x = Tensor::FromVector({3, 1}, {1, 10, 100});
+  Tensor agg = ScatterAddRows(GatherRows(x, src), dst, 3);
+  EXPECT_FLOAT_EQ(agg.At(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(agg.At(1, 0), 101.0f);
+  EXPECT_FLOAT_EQ(agg.At(2, 0), 10.0f);
+}
+
+TEST(GradCheckTest, GatherAndScatter) {
+  std::vector<int32_t> idx = {1, 0, 1, 2};
+  GradCheck(Tensor::FromVector({3, 2}, {0.5f, -1, 2, 0.3f, -0.7f, 1.1f}),
+            [&](const Tensor& x) { return SumSquares(GatherRows(x, idx)); });
+  GradCheck(Tensor::FromVector({4, 2},
+                               {0.5f, -1, 2, 0.3f, -0.7f, 1.1f, 1, -2}),
+            [&](const Tensor& x) {
+              return SumSquares(ScatterAddRows(x, idx, 3));
+            });
+}
+
+TEST(SegmentMeanTest, ForwardAndEmptySegment) {
+  Tensor x = Tensor::FromVector({4, 1}, {1, 3, 10, 20});
+  Tensor y = SegmentMean(x, {0, 0, 2, 2}, 3);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.At(1, 0), 0.0f);  // empty segment
+  EXPECT_FLOAT_EQ(y.At(2, 0), 15.0f);
+}
+
+TEST(SegmentMaxTest, ForwardAndEmptySegment) {
+  Tensor x = Tensor::FromVector({4, 2}, {1, -5, 3, -7, -1, 2, 0, 4});
+  Tensor y = SegmentMax(x, {0, 0, 1, 1}, 3);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y.At(0, 1), -5.0f);
+  EXPECT_FLOAT_EQ(y.At(1, 1), 4.0f);
+  EXPECT_FLOAT_EQ(y.At(2, 0), 0.0f);  // empty segment -> zeros
+}
+
+TEST(GradCheckTest, SegmentMeanAndMax) {
+  std::vector<int32_t> seg = {0, 0, 1, 1};
+  GradCheck(Tensor::FromVector({4, 2},
+                               {0.5f, -1, 2, 0.3f, -0.7f, 1.1f, 1, -2}),
+            [&](const Tensor& x) {
+              return SumSquares(SegmentMean(x, seg, 2));
+            });
+  // Max: distinct values so the argmax is stable under the FD probe.
+  GradCheck(Tensor::FromVector({4, 2}, {0.5f, -1, 2, 0.3f, -0.7f, 1.1f, 1, -2}),
+            [&](const Tensor& x) {
+              return SumSquares(SegmentMax(x, seg, 2));
+            });
+}
+
+TEST(SegmentSoftmaxTest, SumsToOnePerSegment) {
+  Tensor s = Tensor::FromVector({5, 1}, {1, 2, 3, -1, 5});
+  Tensor p = SegmentSoftmax(s, {0, 0, 0, 1, 1}, 2);
+  EXPECT_NEAR(p.data()[0] + p.data()[1] + p.data()[2], 1.0f, 1e-5f);
+  EXPECT_NEAR(p.data()[3] + p.data()[4], 1.0f, 1e-5f);
+  EXPECT_GT(p.data()[2], p.data()[0]);
+}
+
+TEST(SegmentSoftmaxTest, NumericallyStableForLargeScores) {
+  Tensor s = Tensor::FromVector({2, 1}, {1000.0f, 999.0f});
+  Tensor p = SegmentSoftmax(s, {0, 0}, 1);
+  EXPECT_NEAR(p.data()[0] + p.data()[1], 1.0f, 1e-5f);
+  EXPECT_GT(p.data()[0], p.data()[1]);
+}
+
+TEST(GradCheckTest, SegmentSoftmax) {
+  std::vector<int32_t> seg = {0, 0, 0, 1, 1};
+  Tensor weights = Tensor::FromVector({5, 1}, {1, -2, 0.5f, 3, -1});
+  GradCheck(Tensor::FromVector({5, 1}, {0.5f, -1, 2, 0.3f, -0.7f}),
+            [&](const Tensor& x) {
+              return Sum(Mul(SegmentSoftmax(x, seg, 2), weights));
+            });
+}
+
+TEST(SegmentSumTest, MatchesScatterAdd) {
+  Tensor x = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  std::vector<int32_t> seg = {1, 1, 0};
+  Tensor a = SegmentSum(x, seg, 2);
+  Tensor b = ScatterAddRows(x, seg, 2);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,80 @@
+// Shared test helpers: finite-difference gradient checking and tiny
+// fixture graphs.
+#ifndef SGCL_TESTS_TEST_UTIL_H_
+#define SGCL_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace sgcl::testing {
+
+// Checks d(loss)/d(input) against central finite differences.
+// `make_loss` must rebuild the full forward graph from the given input
+// tensor and return a scalar loss. Gradients of ops with kinks (relu,
+// max) should be probed at points away from the kink.
+inline void GradCheck(
+    Tensor input,
+    const std::function<Tensor(const Tensor&)>& make_loss,
+    float eps = 1e-3f, float rtol = 5e-2f, float atol = 1e-4f) {
+  input.set_requires_grad(true);
+  input.ZeroGrad();
+  Tensor loss = make_loss(input);
+  ASSERT_EQ(loss.numel(), 1);
+  loss.Backward();
+  std::vector<float> analytic(input.impl()->grad);
+  for (size_t i = 0; i < input.impl()->data.size(); ++i) {
+    const float orig = input.impl()->data[i];
+    input.impl()->data[i] = orig + eps;
+    const float up = make_loss(input).item();
+    input.impl()->data[i] = orig - eps;
+    const float down = make_loss(input).item();
+    input.impl()->data[i] = orig;
+    const float numeric = (up - down) / (2.0f * eps);
+    const float tol = atol + rtol * std::fabs(numeric);
+    EXPECT_NEAR(analytic[i], numeric, tol)
+        << "grad mismatch at flat index " << i;
+  }
+}
+
+// A 5-node "house" graph: a 4-cycle with a roof node, feat_dim features
+// filled with node-index-derived values.
+inline Graph HouseGraph(int64_t feat_dim = 3) {
+  Graph g(5, feat_dim);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  g.AddUndirectedEdge(2, 3);
+  g.AddUndirectedEdge(3, 0);
+  g.AddUndirectedEdge(0, 4);
+  g.AddUndirectedEdge(1, 4);
+  for (int64_t v = 0; v < 5; ++v) {
+    for (int64_t j = 0; j < feat_dim; ++j) {
+      g.set_feature(v, j, 0.1f * static_cast<float>(v + 1) +
+                              0.01f * static_cast<float>(j));
+    }
+  }
+  g.set_label(1);
+  return g;
+}
+
+// A 3-node path graph.
+inline Graph PathGraph3(int64_t feat_dim = 2) {
+  Graph g(3, feat_dim);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  for (int64_t v = 0; v < 3; ++v) {
+    for (int64_t j = 0; j < feat_dim; ++j) {
+      g.set_feature(v, j, static_cast<float>(v) - 0.5f * static_cast<float>(j));
+    }
+  }
+  g.set_label(0);
+  return g;
+}
+
+}  // namespace sgcl::testing
+
+#endif  // SGCL_TESTS_TEST_UTIL_H_
