@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complexity_generator.dir/complexity_generator.cc.o"
+  "CMakeFiles/complexity_generator.dir/complexity_generator.cc.o.d"
+  "complexity_generator"
+  "complexity_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sensitivity_unsupervised.dir/fig4_sensitivity_unsupervised.cc.o"
+  "CMakeFiles/fig4_sensitivity_unsupervised.dir/fig4_sensitivity_unsupervised.cc.o.d"
+  "fig4_sensitivity_unsupervised"
+  "fig4_sensitivity_unsupervised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sensitivity_unsupervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

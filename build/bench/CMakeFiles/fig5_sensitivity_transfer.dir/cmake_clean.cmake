@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sensitivity_transfer.dir/fig5_sensitivity_transfer.cc.o"
+  "CMakeFiles/fig5_sensitivity_transfer.dir/fig5_sensitivity_transfer.cc.o.d"
+  "fig5_sensitivity_transfer"
+  "fig5_sensitivity_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sensitivity_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

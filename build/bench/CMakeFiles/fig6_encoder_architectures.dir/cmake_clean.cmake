@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_encoder_architectures.dir/fig6_encoder_architectures.cc.o"
+  "CMakeFiles/fig6_encoder_architectures.dir/fig6_encoder_architectures.cc.o.d"
+  "fig6_encoder_architectures"
+  "fig6_encoder_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_encoder_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

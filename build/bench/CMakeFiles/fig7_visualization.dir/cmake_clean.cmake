@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_visualization.dir/fig7_visualization.cc.o"
+  "CMakeFiles/fig7_visualization.dir/fig7_visualization.cc.o.d"
+  "fig7_visualization"
+  "fig7_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgcl_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/sgcl_bench_util.dir/bench_util.cc.o.d"
+  "libsgcl_bench_util.a"
+  "libsgcl_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgcl_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_unsupervised.dir/table3_unsupervised.cc.o"
+  "CMakeFiles/table3_unsupervised.dir/table3_unsupervised.cc.o.d"
+  "table3_unsupervised"
+  "table3_unsupervised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_unsupervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

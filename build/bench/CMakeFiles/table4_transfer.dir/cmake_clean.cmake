@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_transfer.dir/table4_transfer.cc.o"
+  "CMakeFiles/table4_transfer.dir/table4_transfer.cc.o.d"
+  "table4_transfer"
+  "table4_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

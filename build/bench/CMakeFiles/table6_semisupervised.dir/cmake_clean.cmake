@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_semisupervised.dir/table6_semisupervised.cc.o"
+  "CMakeFiles/table6_semisupervised.dir/table6_semisupervised.cc.o.d"
+  "table6_semisupervised"
+  "table6_semisupervised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_semisupervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_semisupervised.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lipschitz_viz.dir/lipschitz_viz.cpp.o"
+  "CMakeFiles/lipschitz_viz.dir/lipschitz_viz.cpp.o.d"
+  "lipschitz_viz"
+  "lipschitz_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lipschitz_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_transfer.dir/molecule_transfer.cpp.o"
+  "CMakeFiles/molecule_transfer.dir/molecule_transfer.cpp.o.d"
+  "molecule_transfer"
+  "molecule_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

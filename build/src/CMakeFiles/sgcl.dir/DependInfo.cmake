@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adgcl.cc" "src/CMakeFiles/sgcl.dir/baselines/adgcl.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/adgcl.cc.o.d"
+  "/root/repo/src/baselines/attr_masking.cc" "src/CMakeFiles/sgcl.dir/baselines/attr_masking.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/attr_masking.cc.o.d"
+  "/root/repo/src/baselines/context_pred.cc" "src/CMakeFiles/sgcl.dir/baselines/context_pred.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/context_pred.cc.o.d"
+  "/root/repo/src/baselines/gae.cc" "src/CMakeFiles/sgcl.dir/baselines/gae.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/gae.cc.o.d"
+  "/root/repo/src/baselines/graph_kernels.cc" "src/CMakeFiles/sgcl.dir/baselines/graph_kernels.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/graph_kernels.cc.o.d"
+  "/root/repo/src/baselines/graphcl.cc" "src/CMakeFiles/sgcl.dir/baselines/graphcl.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/graphcl.cc.o.d"
+  "/root/repo/src/baselines/infograph.cc" "src/CMakeFiles/sgcl.dir/baselines/infograph.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/infograph.cc.o.d"
+  "/root/repo/src/baselines/joao.cc" "src/CMakeFiles/sgcl.dir/baselines/joao.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/joao.cc.o.d"
+  "/root/repo/src/baselines/pretrainer.cc" "src/CMakeFiles/sgcl.dir/baselines/pretrainer.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/pretrainer.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/sgcl.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/simgrace.cc" "src/CMakeFiles/sgcl.dir/baselines/simgrace.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/simgrace.cc.o.d"
+  "/root/repo/src/baselines/svm.cc" "src/CMakeFiles/sgcl.dir/baselines/svm.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/svm.cc.o.d"
+  "/root/repo/src/baselines/view_generator.cc" "src/CMakeFiles/sgcl.dir/baselines/view_generator.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/baselines/view_generator.cc.o.d"
+  "/root/repo/src/common/io.cc" "src/CMakeFiles/sgcl.dir/common/io.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/common/io.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/sgcl.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/sgcl.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sgcl.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/sgcl.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/augmentation.cc" "src/CMakeFiles/sgcl.dir/core/augmentation.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/core/augmentation.cc.o.d"
+  "/root/repo/src/core/contrastive_loss.cc" "src/CMakeFiles/sgcl.dir/core/contrastive_loss.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/core/contrastive_loss.cc.o.d"
+  "/root/repo/src/core/lipschitz_generator.cc" "src/CMakeFiles/sgcl.dir/core/lipschitz_generator.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/core/lipschitz_generator.cc.o.d"
+  "/root/repo/src/core/sgcl_model.cc" "src/CMakeFiles/sgcl.dir/core/sgcl_model.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/core/sgcl_model.cc.o.d"
+  "/root/repo/src/core/sgcl_trainer.cc" "src/CMakeFiles/sgcl.dir/core/sgcl_trainer.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/core/sgcl_trainer.cc.o.d"
+  "/root/repo/src/data/motif.cc" "src/CMakeFiles/sgcl.dir/data/motif.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/data/motif.cc.o.d"
+  "/root/repo/src/data/superpixel.cc" "src/CMakeFiles/sgcl.dir/data/superpixel.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/data/superpixel.cc.o.d"
+  "/root/repo/src/data/synthetic_molecule.cc" "src/CMakeFiles/sgcl.dir/data/synthetic_molecule.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/data/synthetic_molecule.cc.o.d"
+  "/root/repo/src/data/synthetic_tu.cc" "src/CMakeFiles/sgcl.dir/data/synthetic_tu.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/data/synthetic_tu.cc.o.d"
+  "/root/repo/src/eval/cross_validation.cc" "src/CMakeFiles/sgcl.dir/eval/cross_validation.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/eval/cross_validation.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/sgcl.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/finetune.cc" "src/CMakeFiles/sgcl.dir/eval/finetune.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/eval/finetune.cc.o.d"
+  "/root/repo/src/eval/grid_search.cc" "src/CMakeFiles/sgcl.dir/eval/grid_search.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/eval/grid_search.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/sgcl.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/CMakeFiles/sgcl.dir/eval/table.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/eval/table.cc.o.d"
+  "/root/repo/src/graph/dataset.cc" "src/CMakeFiles/sgcl.dir/graph/dataset.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/graph/dataset.cc.o.d"
+  "/root/repo/src/graph/dataset_io.cc" "src/CMakeFiles/sgcl.dir/graph/dataset_io.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/graph/dataset_io.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/sgcl.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_batch.cc" "src/CMakeFiles/sgcl.dir/graph/graph_batch.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/graph/graph_batch.cc.o.d"
+  "/root/repo/src/graph/splits.cc" "src/CMakeFiles/sgcl.dir/graph/splits.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/graph/splits.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/CMakeFiles/sgcl.dir/nn/checkpoint.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/nn/checkpoint.cc.o.d"
+  "/root/repo/src/nn/encoder.cc" "src/CMakeFiles/sgcl.dir/nn/encoder.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/nn/encoder.cc.o.d"
+  "/root/repo/src/nn/gat_conv.cc" "src/CMakeFiles/sgcl.dir/nn/gat_conv.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/nn/gat_conv.cc.o.d"
+  "/root/repo/src/nn/gcn_conv.cc" "src/CMakeFiles/sgcl.dir/nn/gcn_conv.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/nn/gcn_conv.cc.o.d"
+  "/root/repo/src/nn/gin_conv.cc" "src/CMakeFiles/sgcl.dir/nn/gin_conv.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/nn/gin_conv.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/CMakeFiles/sgcl.dir/nn/layer_norm.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/nn/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/sgcl.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/sgcl.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/sgcl.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/CMakeFiles/sgcl.dir/nn/pooling.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/nn/pooling.cc.o.d"
+  "/root/repo/src/nn/sage_conv.cc" "src/CMakeFiles/sgcl.dir/nn/sage_conv.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/nn/sage_conv.cc.o.d"
+  "/root/repo/src/tensor/graph_ops.cc" "src/CMakeFiles/sgcl.dir/tensor/graph_ops.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/tensor/graph_ops.cc.o.d"
+  "/root/repo/src/tensor/init.cc" "src/CMakeFiles/sgcl.dir/tensor/init.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/tensor/init.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/sgcl.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/optimizer.cc" "src/CMakeFiles/sgcl.dir/tensor/optimizer.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/tensor/optimizer.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/sgcl.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/sgcl.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/augmentation_test.cc" "tests/CMakeFiles/core_test.dir/core/augmentation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/augmentation_test.cc.o.d"
+  "/root/repo/tests/core/contrastive_loss_test.cc" "tests/CMakeFiles/core_test.dir/core/contrastive_loss_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/contrastive_loss_test.cc.o.d"
+  "/root/repo/tests/core/lipschitz_generator_test.cc" "tests/CMakeFiles/core_test.dir/core/lipschitz_generator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/lipschitz_generator_test.cc.o.d"
+  "/root/repo/tests/core/sgcl_model_test.cc" "tests/CMakeFiles/core_test.dir/core/sgcl_model_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sgcl_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgcl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/motif_test.cc" "tests/CMakeFiles/data_test.dir/data/motif_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/motif_test.cc.o.d"
+  "/root/repo/tests/data/superpixel_test.cc" "tests/CMakeFiles/data_test.dir/data/superpixel_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/superpixel_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_molecule_test.cc" "tests/CMakeFiles/data_test.dir/data/synthetic_molecule_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/synthetic_molecule_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_tu_test.cc" "tests/CMakeFiles/data_test.dir/data/synthetic_tu_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/synthetic_tu_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sgcl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgcl_cli.dir/sgcl_cli.cc.o"
+  "CMakeFiles/sgcl_cli.dir/sgcl_cli.cc.o.d"
+  "sgcl_cli"
+  "sgcl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgcl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/sgcl_cli" "generate" "--dataset=MUTAG" "--graphs=60" "--node-cap=14" "--seed=3" "--out=cli_test_ds.bin")
+set_tests_properties(cli_generate PROPERTIES  FIXTURES_SETUP "cli_data" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/sgcl_cli" "info" "--data=cli_test_ds.bin")
+set_tests_properties(cli_info PROPERTIES  FIXTURES_REQUIRED "cli_data" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pretrain "/root/repo/build/tools/sgcl_cli" "pretrain" "--data=cli_test_ds.bin" "--epochs=3" "--hidden=16" "--layers=2" "--out=cli_test_model.ckpt")
+set_tests_properties(cli_pretrain PROPERTIES  FIXTURES_REQUIRED "cli_data" FIXTURES_SETUP "cli_model" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_evaluate "/root/repo/build/tools/sgcl_cli" "evaluate" "--data=cli_test_ds.bin" "--model=cli_test_model.ckpt" "--hidden=16" "--layers=2" "--folds=3")
+set_tests_properties(cli_evaluate PROPERTIES  FIXTURES_REQUIRED "cli_data;cli_model" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_scores "/root/repo/build/tools/sgcl_cli" "scores" "--data=cli_test_ds.bin" "--model=cli_test_model.ckpt" "--hidden=16" "--layers=2" "--graph=0")
+set_tests_properties(cli_scores PROPERTIES  FIXTURES_REQUIRED "cli_data;cli_model" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
