@@ -1,0 +1,80 @@
+// Shared parallel runtime: a lazily-initialized global ThreadPool plus a
+// ParallelFor helper for row-partitioned kernels.
+//
+// Sizing: the pool holds SGCL_NUM_THREADS workers (env var; default
+// std::thread::hardware_concurrency). With one thread — or when a range is
+// no larger than its grain — ParallelFor runs the body inline on the
+// calling thread, so `SGCL_NUM_THREADS=1` is bitwise-identical to the
+// sequential code.
+//
+// Determinism contract: ParallelFor partitions [begin, end) into disjoint
+// contiguous chunks, one body invocation per chunk. Callers must only
+// write state owned by their chunk (e.g. disjoint output/grad rows); under
+// that discipline results are identical for every thread count and no
+// atomics are needed. Nested ParallelFor calls from inside a pool worker
+// run inline, so parallel sections can be composed without deadlock.
+#ifndef SGCL_COMMON_PARALLEL_H_
+#define SGCL_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sgcl {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped below by 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `task` for execution on a worker thread.
+  void Submit(std::function<void()> task);
+
+  // True on a thread owned by any ThreadPool (used to run nested
+  // parallel sections inline).
+  static bool InWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// The process-wide pool, created on first use from SGCL_NUM_THREADS (or
+// hardware_concurrency when unset/invalid).
+ThreadPool& GlobalThreadPool();
+
+// Worker count the global pool has (or would have) — 1 means sequential.
+int ParallelRuntimeThreads();
+
+// Replaces the global pool with one of `num_threads` workers (0 restores
+// the SGCL_NUM_THREADS/hardware default). Must not be called while
+// parallel work is in flight; intended for tests and benchmarks.
+void SetParallelThreads(int num_threads);
+
+// Runs fn(chunk_begin, chunk_end) over a disjoint contiguous partition of
+// [begin, end). Chunks hold at least `grain` indices; when the whole range
+// fits in one grain, the pool has a single thread, or the caller is
+// already a pool worker, the body runs inline as fn(begin, end).
+// Exceptions thrown by `fn` are rethrown on the calling thread (first one
+// wins) after all chunks finish.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace sgcl
+
+#endif  // SGCL_COMMON_PARALLEL_H_

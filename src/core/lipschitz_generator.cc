@@ -1,8 +1,72 @@
 #include "core/lipschitz_generator.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+#include "common/simd.h"
+#include "nn/gin_inference.h"
+
 namespace sgcl {
+namespace {
+
+// Per-node incidence index over a directed edge list: edge ids touching
+// node v (as source or destination) are edges[offsets[v] .. offsets[v+1]),
+// ascending. A self-loop appears once.
+struct IncidenceIndex {
+  std::vector<int64_t> offsets;  // [num_nodes + 1]
+  std::vector<int64_t> edges;
+};
+
+IncidenceIndex BuildIncidenceIndex(int64_t num_nodes,
+                                   const std::vector<int32_t>& src,
+                                   const std::vector<int32_t>& dst) {
+  IncidenceIndex index;
+  index.offsets.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  const int64_t num_edges = static_cast<int64_t>(src.size());
+  for (int64_t e = 0; e < num_edges; ++e) {
+    ++index.offsets[src[e] + 1];
+    if (dst[e] != src[e]) ++index.offsets[dst[e] + 1];
+  }
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    index.offsets[v + 1] += index.offsets[v];
+  }
+  index.edges.resize(index.offsets[num_nodes]);
+  std::vector<int64_t> cursor(index.offsets.begin(), index.offsets.end() - 1);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    index.edges[cursor[src[e]]++] = e;
+    if (dst[e] != src[e]) index.edges[cursor[dst[e]]++] = e;
+  }
+  return index;
+}
+
+// Squared Frobenius displacement between the base representation `h` and
+// the masked view's block `h_view`, with row r zeroed on the masked side
+// (Eq. 15: the perturbation mask zeroes row r of Ĥ_r, so that row
+// contributes ||h_r||^2). ISA-cloned: the float->double convert-and-
+// accumulate loop vectorizes 8-wide on AVX-512 hosts.
+SGCL_TARGET_CLONES
+double ViewDisplacementSq(const float* h, const float* h_view, int64_t n,
+                          int64_t d, int64_t r) {
+  double sq = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* hrow = h + i * d;
+    const float* vrow = h_view + i * d;
+    if (i == r) {
+      for (int64_t j = 0; j < d; ++j) {
+        sq += static_cast<double>(hrow[j]) * hrow[j];
+      }
+    } else {
+      for (int64_t j = 0; j < d; ++j) {
+        const float delta = hrow[j] - vrow[j];
+        sq += static_cast<double>(delta) * delta;
+      }
+    }
+  }
+  return sq;
+}
+
+}  // namespace
 
 float NodeDropTopologyDistance(int64_t degree, bool has_self_loop) {
   // Dropping node r zeroes row r and column r of A. Each incident edge
@@ -15,9 +79,11 @@ float NodeDropTopologyDistance(int64_t degree, bool has_self_loop) {
 }
 
 LipschitzGenerator::LipschitzGenerator(const GnnEncoder* encoder,
-                                       LipschitzMode mode)
-    : encoder_(encoder), mode_(mode) {
+                                       LipschitzMode mode,
+                                       int64_t max_view_nodes)
+    : encoder_(encoder), mode_(mode), max_view_nodes_(max_view_nodes) {
   SGCL_CHECK(encoder != nullptr);
+  SGCL_CHECK_GT(max_view_nodes, 0);
 }
 
 std::vector<float> LipschitzGenerator::ComputeConstants(
@@ -25,11 +91,20 @@ std::vector<float> LipschitzGenerator::ComputeConstants(
   if (mode_ == LipschitzMode::kAttentionApprox) {
     return ApproxConstants(graphs);
   }
-  std::vector<float> all;
-  for (const Graph* g : graphs) {
-    std::vector<float> k = ExactConstants(*g);
-    all.insert(all.end(), k.begin(), k.end());
+  const int64_t num_graphs = static_cast<int64_t>(graphs.size());
+  std::vector<int64_t> offsets(static_cast<size_t>(num_graphs) + 1, 0);
+  for (int64_t g = 0; g < num_graphs; ++g) {
+    offsets[g + 1] = offsets[g] + graphs[g]->num_nodes();
   }
+  std::vector<float> all(static_cast<size_t>(offsets[num_graphs]), 0.0f);
+  // Each graph writes its own disjoint slice, so the result is identical
+  // for every thread count.
+  ParallelFor(0, num_graphs, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t g = lo; g < hi; ++g) {
+      std::vector<float> k = ExactConstants(*graphs[g]);
+      std::copy(k.begin(), k.end(), all.begin() + offsets[g]);
+    }
+  });
   return all;
 }
 
@@ -39,6 +114,123 @@ std::vector<float> LipschitzGenerator::ComputeConstants(
 }
 
 std::vector<float> LipschitzGenerator::ExactConstants(
+    const Graph& graph) const {
+  const int64_t n = graph.num_nodes();
+  std::vector<float> constants(static_cast<size_t>(n), 0.0f);
+  if (n == 0) return constants;
+  const int64_t f = graph.feat_dim();
+  GraphBatch base = GraphBatch::FromGraphPtrs({&graph});
+  const std::vector<int64_t> deg = graph.Degrees();
+  const int64_t num_edges = static_cast<int64_t>(base.edge_src.size());
+  // GIN stacks (the paper's default encoder) take the fused tape-free
+  // masked-view kernel: one base encode keeping all layer activations,
+  // then per view only the L-hop ball around the masked node is
+  // recomputed (rows further away are bit-identical to the base encode).
+  // Other architectures fall back to batched tape encodes below.
+  const GinInferencePlan plan = GinInferencePlan::Build(*encoder_);
+  if (plan.valid()) {
+    GinMaskedViewKernel kernel(plan, base.features.data(), n,
+                               base.edge_src.data(), base.edge_dst.data(),
+                               num_edges);
+    // Same knob as the batched fallback: each parallel work item owns at
+    // most max_view_nodes total view nodes.
+    const int64_t grain = std::max<int64_t>(1, max_view_nodes_ / n);
+    ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+      std::vector<double> disp(static_cast<size_t>(hi - lo));
+      kernel.ViewDisplacementsSq(lo, hi, disp.data());
+      for (int64_t r = lo; r < hi; ++r) {
+        const float dr = static_cast<float>(std::sqrt(disp[r - lo]));
+        const float dt = NodeDropTopologyDistance(deg[r], graph.HasEdge(r, r));
+        constants[r] = dr / dt;
+      }
+    });
+    return constants;
+  }
+  const Tensor h = encoder_->EncodeNodes(base.features, base).Detach();
+  const int64_t d = h.cols();
+  const float* hb = h.data();
+  const IncidenceIndex incidence =
+      BuildIncidenceIndex(n, base.edge_src, base.edge_dst);
+
+  // §V batching: masked views (node r's features zeroed, node r's edges
+  // dropped) are packed into block-diagonal batches of at most
+  // max_view_nodes total nodes and encoded in one pass per chunk. The
+  // encoder treats disjoint blocks independently, so each block's rows
+  // equal the single-view encode exactly.
+  const int64_t views_per_chunk = std::max<int64_t>(1, max_view_nodes_ / n);
+  // Chunk buffers hoisted out of the loop so their capacity is reused.
+  std::vector<float> feats;
+  feats.reserve(static_cast<size_t>(views_per_chunk * n * f));
+  std::vector<int32_t> edge_src, edge_dst;
+  edge_src.reserve(static_cast<size_t>(views_per_chunk * num_edges));
+  edge_dst.reserve(static_cast<size_t>(views_per_chunk * num_edges));
+  for (int64_t chunk_begin = 0; chunk_begin < n;
+       chunk_begin += views_per_chunk) {
+    const int64_t num_views = std::min(views_per_chunk, n - chunk_begin);
+    const int64_t chunk_nodes = num_views * n;
+    feats.clear();
+    edge_src.clear();
+    edge_dst.clear();
+    for (int64_t v = 0; v < num_views; ++v) {
+      const int64_t r = chunk_begin + v;
+      // One shared features buffer per chunk: append the base matrix and
+      // zero only row r of this view's block.
+      feats.insert(feats.end(), graph.features().begin(),
+                   graph.features().end());
+      std::fill_n(feats.begin() + (v * n + r) * f, f, 0.0f);
+      // Edge list minus edges incident to r, built by copying the runs
+      // between r's (ascending) incident edge ids — no full-E rescan with
+      // per-edge predicates.
+      const int32_t shift = static_cast<int32_t>(v * n);
+      int64_t next = 0;
+      auto append_run = [&](int64_t lo, int64_t hi) {
+        for (int64_t e = lo; e < hi; ++e) {
+          edge_src.push_back(base.edge_src[e] + shift);
+          edge_dst.push_back(base.edge_dst[e] + shift);
+        }
+      };
+      for (int64_t t = incidence.offsets[r]; t < incidence.offsets[r + 1];
+           ++t) {
+        append_run(next, incidence.edges[t]);
+        next = incidence.edges[t] + 1;
+      }
+      append_run(next, num_edges);
+    }
+    GraphBatch views;
+    views.num_graphs = num_views;
+    views.num_nodes = chunk_nodes;
+    views.feat_dim = f;
+    views.node_graph_ids.reserve(static_cast<size_t>(chunk_nodes));
+    views.node_offsets.reserve(static_cast<size_t>(num_views) + 1);
+    views.node_offsets.push_back(0);
+    for (int64_t v = 0; v < num_views; ++v) {
+      for (int64_t node = 0; node < n; ++node) {
+        views.node_graph_ids.push_back(static_cast<int32_t>(v));
+      }
+      views.node_offsets.push_back((v + 1) * n);
+    }
+    views.edge_src = edge_src;
+    views.edge_dst = edge_dst;
+    views.features = Tensor::FromVector({chunk_nodes, f}, feats);
+    const Tensor h_views = encoder_->EncodeNodes(views.features, views).Detach();
+    const float* hv = h_views.data();
+    // Per-view displacement reduction (Eq. 15); each view owns its own
+    // output entry.
+    ParallelFor(0, num_views, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t v = lo; v < hi; ++v) {
+        const int64_t r = chunk_begin + v;
+        const double sq = ViewDisplacementSq(hb, hv + v * n * d, n, d, r);
+        const float dr = static_cast<float>(std::sqrt(sq));
+        const float dt =
+            NodeDropTopologyDistance(deg[r], graph.HasEdge(r, r));
+        constants[r] = dr / dt;
+      }
+    });
+  }
+  return constants;
+}
+
+std::vector<float> LipschitzGenerator::ExactConstantsReference(
     const Graph& graph) const {
   const int64_t n = graph.num_nodes();
   std::vector<float> constants(static_cast<size_t>(n), 0.0f);
@@ -67,18 +259,7 @@ std::vector<float> LipschitzGenerator::ExactConstants(
     }
     const Tensor h_masked =
         encoder_->EncodeNodes(masked.features, masked).Detach();
-    double sq = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      // The dropped node's own representation is excluded on both sides:
-      // the perturbation mask (Eq. 13) zeroes row r in Ĥ_r, so row r
-      // contributes ||h_r||^2.
-      for (int64_t j = 0; j < d; ++j) {
-        const float hv = h.At(i, j);
-        const float mv = (i == r) ? 0.0f : h_masked.At(i, j);
-        const float delta = hv - mv;
-        sq += static_cast<double>(delta) * delta;
-      }
-    }
+    const double sq = ViewDisplacementSq(h.data(), h_masked.data(), n, d, r);
     const float dr = static_cast<float>(std::sqrt(sq));
     const float dt = NodeDropTopologyDistance(deg[r], graph.HasEdge(r, r));
     constants[r] = dr / dt;
@@ -139,9 +320,19 @@ std::vector<float> LipschitzGenerator::ApproxConstants(
     const double contrib = static_cast<double>(alpha) * row_norm[dst];
     disp_sq[src] += contrib * contrib;
   }
+  // D_T consults the actual self-loop structure, matching ExactConstants
+  // (Eq. 12 must agree between the two modes on graphs with self-loops).
+  std::vector<uint8_t> has_self_loop(static_cast<size_t>(n), 0);
+  int64_t node_offset = 0;
+  for (const Graph* g : graphs) {
+    for (int64_t v = 0; v < g->num_nodes(); ++v) {
+      has_self_loop[node_offset + v] = g->HasEdge(v, v) ? 1 : 0;
+    }
+    node_offset += g->num_nodes();
+  }
   std::vector<int64_t> deg = batch.Degrees();
   for (int64_t v = 0; v < n; ++v) {
-    const float dt = NodeDropTopologyDistance(deg[v], /*has_self_loop=*/false);
+    const float dt = NodeDropTopologyDistance(deg[v], has_self_loop[v] != 0);
     constants[v] = static_cast<float>(std::sqrt(disp_sq[v])) / dt;
   }
   return constants;

@@ -8,11 +8,14 @@
 // a lot relative to the topology change.
 //
 // Two computation modes are provided:
-//  * kExact — re-encodes the graph once per node with a mask (the paper's
-//    Eq. 13-14 mask mechanism); O(|V|) encoder passes per graph.
-//  * kAttentionApprox — the paper's §V optimization: one encoder pass, plus
-//    attention weights that estimate each node's contribution to its
-//    neighbors' representations, removed in closed form.
+//  * kExact — re-encodes the graph once per masked node (the paper's
+//    Eq. 13-14 mask mechanism). Implemented with the paper's §V batching:
+//    all |V| masked views are assembled into block-diagonal GraphBatches
+//    of at most `max_view_nodes` total nodes each, so a graph costs a few
+//    wide encoder passes instead of |V| narrow ones.
+//  * kAttentionApprox — the paper's other §V optimization: one encoder
+//    pass, plus attention weights that estimate each node's contribution
+//    to its neighbors' representations, removed in closed form.
 //
 // Constants are computed outside the autograd tape (they parameterize the
 // augmentation, Eq. 18, and the anchor pooling, Eq. 21, as fixed scores).
@@ -36,18 +39,33 @@ float NodeDropTopologyDistance(int64_t degree, bool has_self_loop);
 
 class LipschitzGenerator {
  public:
+  // Default cap on total nodes per block-diagonal masked-view chunk.
+  // ~1K nodes keeps a chunk's activations inside per-core cache; larger
+  // chunks measurably raise per-node encode cost (see EXPERIMENTS.md).
+  static constexpr int64_t kDefaultMaxViewNodes = 1024;
+
   // `encoder` is the generator GNN f_q; not owned, must outlive this.
-  LipschitzGenerator(const GnnEncoder* encoder, LipschitzMode mode);
+  // `max_view_nodes` caps the size of each batched masked-view encode
+  // (clamped below by one view per chunk).
+  LipschitzGenerator(const GnnEncoder* encoder, LipschitzMode mode,
+                     int64_t max_view_nodes = kDefaultMaxViewNodes);
 
   // Per-node Lipschitz constants for every node of every graph,
   // concatenated in batch order (same layout as GraphBatch node ids).
+  // Exact mode parallelizes across graphs on the shared thread pool.
   std::vector<float> ComputeConstants(
       const std::vector<const Graph*>& graphs) const;
 
   // Single-graph convenience.
   std::vector<float> ComputeConstants(const Graph& graph) const;
 
+  // The seed's naive exact path — one full encoder pass per node, no
+  // batching, no threading. Kept as the golden oracle for tests and the
+  // lipschitz_bench baseline.
+  std::vector<float> ExactConstantsReference(const Graph& graph) const;
+
   LipschitzMode mode() const { return mode_; }
+  int64_t max_view_nodes() const { return max_view_nodes_; }
 
  private:
   std::vector<float> ExactConstants(const Graph& graph) const;
@@ -56,6 +74,7 @@ class LipschitzGenerator {
 
   const GnnEncoder* encoder_;
   LipschitzMode mode_;
+  int64_t max_view_nodes_;
 };
 
 }  // namespace sgcl

@@ -27,6 +27,10 @@ struct SgclConfig {
   double rho = 0.9;  // fraction of eligible nodes dropped per view
   AugmentationMode augmentation = AugmentationMode::kLipschitz;
   LipschitzMode lipschitz_mode = LipschitzMode::kAttentionApprox;
+  // Cap on total nodes per block-diagonal masked-view chunk in the exact
+  // Lipschitz generator (§V batching). Smaller = lower peak memory;
+  // larger = fewer encoder calls per graph.
+  int64_t max_view_nodes = LipschitzGenerator::kDefaultMaxViewNodes;
 
   // Eq. 21 semantic-score-weighted anchor pooling; false = "w/o SRL".
   bool semantic_pooling = true;

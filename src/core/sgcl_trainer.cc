@@ -29,7 +29,19 @@ PretrainStats SgclTrainer::Pretrain(const GraphDataset& dataset,
          start += config_.batch_size) {
       const size_t end =
           std::min(order.size(), start + config_.batch_size);
-      if (end - start < 2) break;
+      if (end - start < 2) {
+        // InfoNCE needs at least one negative, so a trailing batch of one
+        // graph is skipped — every epoch, since the shuffle only reorders.
+        if (!logged_dropped_tail_) {
+          SGCL_LOG(DEBUG) << "Pretrain: dropping trailing batch of size "
+                          << (end - start) << " (dataset size "
+                          << order.size() << ", batch_size "
+                          << config_.batch_size
+                          << "); these graphs are skipped each epoch";
+          logged_dropped_tail_ = true;
+        }
+        break;
+      }
       std::vector<const Graph*> batch;
       batch.reserve(end - start);
       for (size_t i = start; i < end; ++i) {

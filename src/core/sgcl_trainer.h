@@ -33,6 +33,7 @@ class SgclTrainer {
   Rng rng_;
   std::unique_ptr<SgclModel> model_;
   std::unique_ptr<Adam> optimizer_;
+  bool logged_dropped_tail_ = false;  // log the skipped size-1 tail once
 };
 
 }  // namespace sgcl

@@ -48,6 +48,14 @@ class GnnEncoder : public Module {
 
   const EncoderConfig& config() const { return config_; }
 
+  // Layer introspection for tape-free inference kernels
+  // (nn/gin_inference.h): conv layer l and its optional LayerNorm
+  // (nullptr when layer norm is disabled).
+  const GraphConv& conv(int64_t l) const { return *layers_[l]; }
+  const LayerNorm* norm(int64_t l) const {
+    return norms_.empty() ? nullptr : norms_[l].get();
+  }
+
  private:
   EncoderConfig config_;
   std::vector<std::unique_ptr<GraphConv>> layers_;

@@ -18,6 +18,9 @@ class GinConv : public GraphConv {
   Tensor Forward(const Tensor& x, const GraphBatch& batch) const override;
   std::vector<Tensor> Parameters() const override;
 
+  const Mlp& mlp() const { return *mlp_; }
+  float eps() const { return eps_; }
+
  private:
   std::unique_ptr<Mlp> mlp_;  // {in, out, out}
   float eps_;

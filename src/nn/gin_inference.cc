@@ -1,0 +1,358 @@
+#include "nn/gin_inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/parallel.h"
+#include "common/simd.h"
+#include "nn/gin_conv.h"
+#include "nn/layer_norm.h"
+
+namespace sgcl {
+namespace {
+
+// Same sizing rule as the row-parallel kernels in tensor/ops.cc: chunks
+// of at least ~64K flops so scheduling overhead stays negligible.
+int64_t RowGrain(int64_t flops_per_row) {
+  constexpr int64_t kMinFlopsPerChunk = 1 << 16;
+  return std::max<int64_t>(1, kMinFlopsPerChunk /
+                                  std::max<int64_t>(1, flops_per_row));
+}
+
+// One output row of a dense layer: y = a W + bias (optionally ReLU'd),
+// register-tiled over the output dimension so accumulators stay out of
+// memory. Per output element the accumulation is in ascending-k order.
+// Unlike tensor/ops.cc MatMul there is no zero-input skip: ReLU inputs
+// are ~half zeros at random positions, and the resulting branch
+// mispredicts cost more than the vectorized multiplies they save
+// (adding 0 * w is also bitwise-neutral, so results are unchanged).
+inline void DenseRow(const float* a, int64_t in, const float* w,
+                     const float* bias, int64_t out, bool relu, float* y) {
+  for (int64_t j0 = 0; j0 < out; j0 += 32) {
+    const int64_t blk = std::min<int64_t>(32, out - j0);
+    float acc[32];
+    for (int64_t t = 0; t < blk; ++t) acc[t] = 0.0f;
+    for (int64_t k = 0; k < in; ++k) {
+      const float av = a[k];
+      const float* wrow = w + k * out + j0;
+      for (int64_t t = 0; t < blk; ++t) acc[t] += av * wrow[t];
+    }
+    for (int64_t t = 0; t < blk; ++t) {
+      const float v = acc[t] + bias[j0 + t];
+      y[j0 + t] = relu && v <= 0.0f ? 0.0f : v;
+    }
+  }
+}
+
+// LayerNorm with double-precision moments as in nn/layer_norm.cc, then
+// the encoder ReLU, in place on one row. Shared by the full-row and
+// dirty-row kernels so their arithmetic can never diverge.
+inline void LayerNormReluRow(const GinLayerParams& p, float* yrow) {
+  double mean = 0.0;
+  for (int64_t j = 0; j < p.out; ++j) mean += yrow[j];
+  mean /= static_cast<double>(p.out);
+  double var = 0.0;
+  for (int64_t j = 0; j < p.out; ++j) {
+    const double c = yrow[j] - mean;
+    var += c * c;
+  }
+  var /= static_cast<double>(p.out);
+  const float inv = 1.0f / std::sqrt(static_cast<float>(var) + p.ln_eps);
+  for (int64_t j = 0; j < p.out; ++j) {
+    const float h = (yrow[j] - static_cast<float>(mean)) * inv;
+    const float y = p.gamma[j] * h + p.beta[j];
+    yrow[j] = y > 0.0f ? y : 0.0f;
+  }
+}
+
+// Rows [lo, hi) of one GIN layer: neighbor-sum aggregation (in-edge CSR,
+// edge order), the two MLP layers, optional LayerNorm, and the trailing
+// encoder ReLU. Rowwise given the previous layer's activations, so rows
+// partition freely across threads without changing any result.
+SGCL_TARGET_CLONES
+void GinLayerRowRange(const GinLayerParams& p, const float* in,
+                      const int64_t* offsets, const int32_t* in_srcs,
+                      float* agg, float* hid, float* dst, int64_t lo,
+                      int64_t hi) {
+  const float one_plus_eps = 1.0f + p.eps_self;
+  for (int64_t v = lo; v < hi; ++v) {
+    // agg_v = (1 + eps) x_v + sum of in-neighbors, neighbor terms first
+    // and in edge order (mirrors GinConv::Forward).
+    float* arow = agg + v * p.in;
+    for (int64_t j = 0; j < p.in; ++j) arow[j] = 0.0f;
+    for (int64_t t = offsets[v]; t < offsets[v + 1]; ++t) {
+      const float* srow = in + in_srcs[t] * p.in;
+      for (int64_t j = 0; j < p.in; ++j) arow[j] += srow[j];
+    }
+    const float* xrow = in + v * p.in;
+    for (int64_t j = 0; j < p.in; ++j) {
+      const float self = one_plus_eps * xrow[j];
+      arow[j] = self + arow[j];
+    }
+    float* hrow = hid + v * p.hid;
+    DenseRow(arow, p.in, p.w1, p.b1, p.hid, /*relu=*/true, hrow);
+    float* yrow = dst + v * p.out;
+    // Without LayerNorm the encoder ReLU lands directly on the conv
+    // output, so it fuses into the second dense layer.
+    DenseRow(hrow, p.hid, p.w2, p.b2, p.out, /*relu=*/p.gamma == nullptr,
+             yrow);
+    if (p.gamma != nullptr) LayerNormReluRow(p, yrow);
+  }
+}
+
+// Recomputes the listed dirty rows of one GIN layer under masked view
+// `masked`: identical arithmetic to GinLayerRowRange, but the view's
+// edge deletions are applied on the fly (skip in-edges from `masked`;
+// the masked row itself keeps no edges at all) instead of materializing
+// a view edge list. `agg` and `hid` are single-row scratch.
+SGCL_TARGET_CLONES
+void GinDirtyRows(const GinLayerParams& p, const float* in,
+                  const int64_t* offsets, const int32_t* in_srcs,
+                  int64_t masked, const int32_t* dirty, int64_t num_dirty,
+                  float* agg, float* hid, float* dst) {
+  const float one_plus_eps = 1.0f + p.eps_self;
+  for (int64_t t = 0; t < num_dirty; ++t) {
+    const int64_t v = dirty[t];
+    for (int64_t j = 0; j < p.in; ++j) agg[j] = 0.0f;
+    if (v != masked) {
+      for (int64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+        if (in_srcs[e] == masked) continue;
+        const float* srow = in + static_cast<int64_t>(in_srcs[e]) * p.in;
+        for (int64_t j = 0; j < p.in; ++j) agg[j] += srow[j];
+      }
+    }
+    const float* xrow = in + v * p.in;
+    for (int64_t j = 0; j < p.in; ++j) {
+      const float self = one_plus_eps * xrow[j];
+      agg[j] = self + agg[j];
+    }
+    DenseRow(agg, p.in, p.w1, p.b1, p.hid, /*relu=*/true, hid);
+    float* yrow = dst + v * p.out;
+    DenseRow(hid, p.hid, p.w2, p.b2, p.out, /*relu=*/p.gamma == nullptr,
+             yrow);
+    if (p.gamma != nullptr) LayerNormReluRow(p, yrow);
+  }
+}
+
+// In-neighbor CSR in ascending edge order, so each row's neighbor sum
+// accumulates in exactly the order ScatterAddRows uses.
+void BuildInEdgeCsr(int64_t n, const int32_t* edge_src,
+                    const int32_t* edge_dst, int64_t num_edges,
+                    std::vector<int64_t>* offsets,
+                    std::vector<int32_t>* in_srcs) {
+  offsets->assign(static_cast<size_t>(n) + 1, 0);
+  for (int64_t e = 0; e < num_edges; ++e) ++(*offsets)[edge_dst[e] + 1];
+  for (int64_t v = 0; v < n; ++v) (*offsets)[v + 1] += (*offsets)[v];
+  in_srcs->resize(static_cast<size_t>(num_edges));
+  std::vector<int64_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    (*in_srcs)[cursor[edge_dst[e]]++] = edge_src[e];
+  }
+}
+
+int64_t MaxLayerDim(const std::vector<GinLayerParams>& layers) {
+  int64_t max_dim = 0;
+  for (const GinLayerParams& layer : layers) {
+    max_dim = std::max({max_dim, layer.in, layer.hid, layer.out});
+  }
+  return max_dim;
+}
+
+}  // namespace
+
+GinInferencePlan GinInferencePlan::Build(const GnnEncoder& encoder) {
+  GinInferencePlan plan;
+  const int num_layers = encoder.config().num_layers;
+  for (int l = 0; l < num_layers; ++l) {
+    const GinConv* gin = dynamic_cast<const GinConv*>(&encoder.conv(l));
+    if (gin == nullptr) return GinInferencePlan();
+    const Mlp& mlp = gin->mlp();
+    if (mlp.num_layers() != 2 || mlp.final_activation()) {
+      return GinInferencePlan();
+    }
+    const Linear& l1 = mlp.layer(0);
+    const Linear& l2 = mlp.layer(1);
+    if (!l1.use_bias() || !l2.use_bias()) return GinInferencePlan();
+    GinLayerParams layer;
+    layer.w1 = l1.weight().data();
+    layer.b1 = l1.bias().data();
+    layer.w2 = l2.weight().data();
+    layer.b2 = l2.bias().data();
+    layer.in = l1.in_dim();
+    layer.hid = l1.out_dim();
+    layer.out = l2.out_dim();
+    layer.eps_self = gin->eps();
+    const LayerNorm* norm = encoder.norm(l);
+    layer.gamma = norm != nullptr ? norm->gamma().data() : nullptr;
+    layer.beta = norm != nullptr ? norm->beta().data() : nullptr;
+    layer.ln_eps = norm != nullptr ? norm->eps() : 0.0f;
+    plan.layers_.push_back(layer);
+  }
+  return plan;
+}
+
+void GinInferencePlan::EncodeNodes(const float* x, int64_t n,
+                                   const int32_t* edge_src,
+                                   const int32_t* edge_dst, int64_t num_edges,
+                                   float* out) const {
+  SGCL_CHECK(valid());
+  if (n == 0) return;
+  std::vector<int64_t> offsets;
+  std::vector<int32_t> in_srcs;
+  BuildInEdgeCsr(n, edge_src, edge_dst, num_edges, &offsets, &in_srcs);
+  const int64_t max_dim = MaxLayerDim(layers_);
+  // Uninitialized scratch: every row is fully written before it is read.
+  const size_t scratch = static_cast<size_t>(n * max_dim);
+  auto buf_a = std::make_unique_for_overwrite<float[]>(scratch);
+  auto buf_b = std::make_unique_for_overwrite<float[]>(scratch);
+  auto agg = std::make_unique_for_overwrite<float[]>(scratch);
+  auto hid = std::make_unique_for_overwrite<float[]>(scratch);
+  const float* in = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const GinLayerParams& layer = layers_[l];
+    float* dst = (l + 1 == layers_.size())
+                     ? out
+                     : (l % 2 == 0 ? buf_a.get() : buf_b.get());
+    ParallelFor(0, n, RowGrain(layer.in * layer.hid + layer.hid * layer.out),
+                [&](int64_t lo, int64_t hi) {
+                  GinLayerRowRange(layer, in, offsets.data(), in_srcs.data(),
+                                   agg.get(), hid.get(), dst, lo, hi);
+                });
+    in = dst;
+  }
+}
+
+GinMaskedViewKernel::GinMaskedViewKernel(const GinInferencePlan& plan,
+                                         const float* x, int64_t n,
+                                         const int32_t* edge_src,
+                                         const int32_t* edge_dst,
+                                         int64_t num_edges)
+    : plan_(&plan), x_(x), n_(n) {
+  SGCL_CHECK(plan.valid());
+  BuildInEdgeCsr(n, edge_src, edge_dst, num_edges, &in_offsets_, &in_srcs_);
+  // Undirected neighbor CSR for the BFS balls. Self-loops and parallel
+  // edges duplicate entries, which the BFS visited check tolerates.
+  adj_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    ++adj_offsets_[edge_src[e] + 1];
+    ++adj_offsets_[edge_dst[e] + 1];
+  }
+  for (int64_t v = 0; v < n; ++v) adj_offsets_[v + 1] += adj_offsets_[v];
+  adj_.resize(static_cast<size_t>(adj_offsets_[n]));
+  {
+    std::vector<int64_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+    for (int64_t e = 0; e < num_edges; ++e) {
+      adj_[cursor[edge_src[e]]++] = edge_dst[e];
+      adj_[cursor[edge_dst[e]]++] = edge_src[e];
+    }
+  }
+  // Base encode, keeping every layer's activations for reuse as the
+  // clean rows of each masked view.
+  const std::vector<GinLayerParams>& layers = plan.layers();
+  layer_acts_.resize(layers.size());
+  const size_t scratch = static_cast<size_t>(n * MaxLayerDim(layers));
+  auto agg = std::make_unique_for_overwrite<float[]>(scratch);
+  auto hid = std::make_unique_for_overwrite<float[]>(scratch);
+  const float* in = x;
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const GinLayerParams& layer = layers[l];
+    layer_acts_[l].resize(static_cast<size_t>(n * layer.out));
+    float* dst = layer_acts_[l].data();
+    ParallelFor(0, n, RowGrain(layer.in * layer.hid + layer.hid * layer.out),
+                [&](int64_t lo, int64_t hi) {
+                  GinLayerRowRange(layer, in, in_offsets_.data(),
+                                   in_srcs_.data(), agg.get(), hid.get(), dst,
+                                   lo, hi);
+                });
+    in = dst;
+  }
+}
+
+void GinMaskedViewKernel::ViewDisplacementsSq(int64_t begin, int64_t end,
+                                              double* out) const {
+  const std::vector<GinLayerParams>& layers = plan_->layers();
+  const int64_t L = static_cast<int64_t>(layers.size());
+  const int64_t f = layers[0].in;
+  const int64_t d = layers.back().out;
+  // Working copies of the features and base activations. Each view edits
+  // only its dirty ball and restores those rows afterwards, so the full
+  // copies are paid once per call and amortize over [begin, end).
+  std::vector<std::vector<float>> bufs(static_cast<size_t>(L) + 1);
+  bufs[0].assign(x_, x_ + n_ * f);
+  for (int64_t l = 0; l < L; ++l) bufs[l + 1] = layer_acts_[l];
+  std::vector<float> agg(static_cast<size_t>(MaxLayerDim(layers)));
+  std::vector<float> hid(agg.size());
+  std::vector<uint8_t> dist(static_cast<size_t>(n_), 0xFF);
+  std::vector<int32_t> ball, sorted;
+  std::vector<int64_t> level_end(static_cast<size_t>(L) + 1);
+  for (int64_t r = begin; r < end; ++r) {
+    // L-level BFS ball around r on the base graph: a node's layer-l
+    // activation can differ from base only if it is within l hops of r,
+    // so B_l = ball[0 .. level_end[l]) is the layer-l dirty set.
+    ball.clear();
+    ball.push_back(static_cast<int32_t>(r));
+    dist[r] = 0;
+    level_end[0] = 1;
+    int64_t frontier = 0;
+    for (int64_t l = 1; l <= L; ++l) {
+      const int64_t frontier_end = static_cast<int64_t>(ball.size());
+      for (; frontier < frontier_end; ++frontier) {
+        const int64_t v = ball[frontier];
+        for (int64_t t = adj_offsets_[v]; t < adj_offsets_[v + 1]; ++t) {
+          const int32_t u = adj_[t];
+          if (dist[u] == 0xFF) {
+            dist[u] = static_cast<uint8_t>(l);
+            ball.push_back(u);
+          }
+        }
+      }
+      level_end[l] = static_cast<int64_t>(ball.size());
+    }
+    // Layer 0 of the view: only row r changes (features zeroed).
+    std::fill_n(bufs[0].begin() + r * f, f, 0.0f);
+    for (int64_t l = 1; l <= L; ++l) {
+      GinDirtyRows(layers[l - 1], bufs[l - 1].data(), in_offsets_.data(),
+                   in_srcs_.data(), r, ball.data(), level_end[l], agg.data(),
+                   hid.data(), bufs[l].data());
+    }
+    // Eq. 15 displacement. Rows outside the ball match base bit-for-bit
+    // and would contribute exactly +0.0, so only ball rows are summed —
+    // in ascending row order, making the result bitwise-identical to the
+    // dense all-rows reduction. Row r is zeroed by the Eq. 15 mask and
+    // contributes ||h_r||^2.
+    sorted.assign(ball.begin(), ball.end());
+    std::sort(sorted.begin(), sorted.end());
+    double sq = 0.0;
+    const float* h = layer_acts_.back().data();
+    const float* hv = bufs[static_cast<size_t>(L)].data();
+    for (const int32_t i : sorted) {
+      const float* hrow = h + static_cast<int64_t>(i) * d;
+      if (i == r) {
+        for (int64_t j = 0; j < d; ++j) {
+          sq += static_cast<double>(hrow[j]) * hrow[j];
+        }
+      } else {
+        const float* vrow = hv + static_cast<int64_t>(i) * d;
+        for (int64_t j = 0; j < d; ++j) {
+          const float delta = hrow[j] - vrow[j];
+          sq += static_cast<double>(delta) * delta;
+        }
+      }
+    }
+    out[r - begin] = sq;
+    // Restore the touched rows and BFS marks for the next view.
+    std::copy_n(x_ + r * f, f, bufs[0].begin() + r * f);
+    for (int64_t l = 1; l <= L; ++l) {
+      const int64_t od = layers[l - 1].out;
+      for (int64_t t = 0; t < level_end[l]; ++t) {
+        const int64_t v = ball[t];
+        std::copy_n(layer_acts_[l - 1].data() + v * od, od,
+                    bufs[static_cast<size_t>(l)].begin() + v * od);
+      }
+    }
+    for (const int32_t v : ball) dist[v] = 0xFF;
+  }
+}
+
+}  // namespace sgcl

@@ -19,6 +19,10 @@ class LayerNorm : public Module {
 
   std::vector<Tensor> Parameters() const override;
 
+  const Tensor& gamma() const { return gamma_; }
+  const Tensor& beta() const { return beta_; }
+  float eps() const { return eps_; }
+
  private:
   Tensor gamma_;  // [1, dim], ones
   Tensor beta_;   // [1, dim], zeros

@@ -20,6 +20,9 @@ class Linear : public Module {
   int64_t in_dim() const { return weight_.rows(); }
   int64_t out_dim() const { return weight_.cols(); }
   const Tensor& weight() const { return weight_; }
+  // Empty (rank-0) tensor when constructed with use_bias = false.
+  const Tensor& bias() const { return bias_; }
+  bool use_bias() const { return use_bias_; }
 
  private:
   Tensor weight_;  // [in, out]

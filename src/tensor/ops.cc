@@ -2,10 +2,20 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace sgcl {
 namespace {
 
 using internal::MakeOpOutput;
+
+// Rows per ParallelFor chunk for a kernel costing `flops_per_row`: small
+// matrices stay inline; large ones split into ~64 KFLOP tasks.
+int64_t RowGrain(int64_t flops_per_row) {
+  constexpr int64_t kMinFlopsPerChunk = 1 << 16;
+  return std::max<int64_t>(1,
+                           kMinFlopsPerChunk / std::max<int64_t>(1, flops_per_row));
+}
 
 // Accumulates `delta` into `t`'s grad if it participates in autograd.
 void AccumulateGrad(const std::shared_ptr<TensorImpl>& t,
@@ -46,15 +56,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
   const float* ad = a.data();
   const float* bd = b.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = ad[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = bd + p * n;
-      float* orow = out.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  // Row-partitioned: each chunk owns disjoint output rows, so results are
+  // identical for every thread count.
+  ParallelFor(0, m, RowGrain(k * n), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ad[i * k + p];
+        if (av == 0.0f) continue;
+        const float* brow = bd + p * n;
+        float* orow = out.data() + i * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   auto a_impl = a.impl();
   auto b_impl = b.impl();
   return MakeOpOutput(
@@ -63,31 +77,39 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         const float* g = self.grad.data();
         if (a_impl->requires_grad) {
           a_impl->EnsureGradAllocated();
-          // dA = dC * B^T
+          // dA = dC * B^T; chunks own disjoint rows of dA.
           const float* bd = b_impl->data.data();
-          for (int64_t i = 0; i < m; ++i) {
-            for (int64_t p = 0; p < k; ++p) {
-              float acc = 0.0f;
-              const float* grow = g + i * n;
-              const float* brow = bd + p * n;
-              for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-              a_impl->grad[i * k + p] += acc;
+          float* agrad = a_impl->grad.data();
+          ParallelFor(0, m, RowGrain(k * n), [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+              for (int64_t p = 0; p < k; ++p) {
+                float acc = 0.0f;
+                const float* grow = g + i * n;
+                const float* brow = bd + p * n;
+                for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+                agrad[i * k + p] += acc;
+              }
             }
-          }
+          });
         }
         if (b_impl->requires_grad) {
           b_impl->EnsureGradAllocated();
-          // dB = A^T * dC
+          // dB = A^T * dC; chunks own disjoint rows p of dB, and each
+          // accumulates over i in ascending order — the same order as the
+          // sequential i-outer loop, so sums are bitwise-identical.
           const float* ad = a_impl->data.data();
-          for (int64_t i = 0; i < m; ++i) {
-            const float* grow = g + i * n;
-            for (int64_t p = 0; p < k; ++p) {
-              const float av = ad[i * k + p];
-              if (av == 0.0f) continue;
-              float* brow = b_impl->grad.data() + p * n;
-              for (int64_t j = 0; j < n; ++j) brow[j] += av * grow[j];
+          float* bgrad = b_impl->grad.data();
+          ParallelFor(0, k, RowGrain(m * n), [&](int64_t p0, int64_t p1) {
+            for (int64_t p = p0; p < p1; ++p) {
+              float* brow = bgrad + p * n;
+              for (int64_t i = 0; i < m; ++i) {
+                const float av = ad[i * k + p];
+                if (av == 0.0f) continue;
+                const float* grow = g + i * n;
+                for (int64_t j = 0; j < n; ++j) brow[j] += av * grow[j];
+              }
             }
-          }
+          });
         }
       });
 }
@@ -100,15 +122,18 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
   const float* ad = a.data();
   const float* bd = b.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      const float* arow = ad + i * k;
-      const float* brow = bd + j * k;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      out[i * n + j] = acc;
+  // Row-partitioned over output rows (see MatMul).
+  ParallelFor(0, m, RowGrain(k * n), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        const float* arow = ad + i * k;
+        const float* brow = bd + j * k;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        out[i * n + j] = acc;
+      }
     }
-  }
+  });
   auto a_impl = a.impl();
   auto b_impl = b.impl();
   return MakeOpOutput(
@@ -117,31 +142,38 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
         const float* g = self.grad.data();
         if (a_impl->requires_grad) {
           a_impl->EnsureGradAllocated();
-          // dA = dC * B
+          // dA = dC * B; chunks own disjoint rows of dA.
           const float* bd = b_impl->data.data();
-          for (int64_t i = 0; i < m; ++i) {
-            for (int64_t j = 0; j < n; ++j) {
-              const float gv = g[i * n + j];
-              if (gv == 0.0f) continue;
-              const float* brow = bd + j * k;
-              float* arow = a_impl->grad.data() + i * k;
-              for (int64_t p = 0; p < k; ++p) arow[p] += gv * brow[p];
+          float* agrad = a_impl->grad.data();
+          ParallelFor(0, m, RowGrain(k * n), [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+              for (int64_t j = 0; j < n; ++j) {
+                const float gv = g[i * n + j];
+                if (gv == 0.0f) continue;
+                const float* brow = bd + j * k;
+                float* arow = agrad + i * k;
+                for (int64_t p = 0; p < k; ++p) arow[p] += gv * brow[p];
+              }
             }
-          }
+          });
         }
         if (b_impl->requires_grad) {
           b_impl->EnsureGradAllocated();
-          // dB = dC^T * A
+          // dB = dC^T * A; chunks own disjoint rows j of dB, each summing
+          // over i ascending — the sequential accumulation order.
           const float* ad = a_impl->data.data();
-          for (int64_t i = 0; i < m; ++i) {
-            for (int64_t j = 0; j < n; ++j) {
-              const float gv = g[i * n + j];
-              if (gv == 0.0f) continue;
-              const float* arow = ad + i * k;
-              float* brow = b_impl->grad.data() + j * k;
-              for (int64_t p = 0; p < k; ++p) brow[p] += gv * arow[p];
+          float* bgrad = b_impl->grad.data();
+          ParallelFor(0, n, RowGrain(m * k), [&](int64_t j0, int64_t j1) {
+            for (int64_t j = j0; j < j1; ++j) {
+              float* brow = bgrad + j * k;
+              for (int64_t i = 0; i < m; ++i) {
+                const float gv = g[i * n + j];
+                if (gv == 0.0f) continue;
+                const float* arow = ad + i * k;
+                for (int64_t p = 0; p < k; ++p) brow[p] += gv * arow[p];
+              }
             }
-          }
+          });
         }
       });
 }
