@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Validates sgcl_cli pretrain's observability exports.
+
+Usage: check_observability.py <metrics.jsonl> <trace.json>
+
+Checks that the metrics JSONL parses line-by-line with per-epoch loss and
+stage timings plus a final registry snapshot, and that the trace file is
+chrome://tracing-loadable JSON containing the pipeline's stage spans.
+"""
+import json
+import sys
+
+EXPECTED_STAGES = {"generator", "augmentation", "encode", "loss",
+                   "backward", "optimizer"}
+
+
+def main() -> int:
+    metrics_path, trace_path = sys.argv[1], sys.argv[2]
+
+    lines = open(metrics_path).read().splitlines()
+    assert len(lines) >= 2, f"expected >= 2 JSONL records, got {len(lines)}"
+    epochs = [json.loads(line) for line in lines[:-1]]
+    for rec in epochs:
+        assert {"epoch", "loss", "seconds", "stages"} <= rec.keys(), rec
+        assert EXPECTED_STAGES <= rec["stages"].keys(), rec
+    final = json.loads(lines[-1])
+    assert final.get("final") and "metrics" in final, final
+    assert "train/batches" in final["metrics"]["counters"], final
+
+    trace = json.load(open(trace_path))
+    names = {event["name"] for event in trace["traceEvents"]}
+    assert {"generator", "augmentation", "loss"} <= names, names
+
+    print(f"ok: {len(epochs)} epoch records, "
+          f"{len(trace['traceEvents'])} trace events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "core/lipschitz_generator.h"
 
 namespace sgcl {
@@ -92,6 +93,32 @@ void BM_LipschitzBatchedParallel(benchmark::State& state) {
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_LipschitzBatchedParallel)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Batched path with tracing enabled: quantifies the observability
+// overhead (span records + metrics counters on every stage). The
+// acceptance budget is < 3% over BM_LipschitzBatchedParallel at N=256;
+// compare the two in BENCH_lipschitz.json.
+void BM_LipschitzBatchedParallelTraced(benchmark::State& state) {
+  SetParallelThreads(0);
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  GnnEncoder encoder(BenchEncoderConfig(), &rng);
+  LipschitzGenerator gen(&encoder, LipschitzMode::kExact);
+  Graph g = MakeBenchGraph(n, 2);
+  TraceCollector::Global().Enable(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.ComputeConstants(g));
+    // Bound the collector's memory; outside the timed region.
+    state.PauseTiming();
+    TraceCollector::Global().Clear();
+    state.ResumeTiming();
+  }
+  TraceCollector::Global().Enable(false);
+  TraceCollector::Global().Clear();
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LipschitzBatchedParallelTraced)->Arg(16)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 // Batch-of-graphs path: the per-epoch shape SgclModel::ComputeLoss hits

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   config.batch_size = 16;
   Stopwatch watch;
   SgclTrainer trainer(config, seed);
-  PretrainStats pretrain = trainer.Pretrain(dataset);
+  PretrainStats pretrain = trainer.Pretrain(dataset).value();
   std::printf("pretrained %d epochs in %.1fs (loss %.3f -> %.3f)\n",
               config.epochs, watch.ElapsedSeconds(),
               pretrain.epoch_losses.front(), pretrain.epoch_losses.back());

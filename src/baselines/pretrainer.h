@@ -84,7 +84,9 @@ class SgclPretrainer : public Pretrainer {
 
   PretrainStats Pretrain(const GraphDataset& dataset,
                          const std::vector<int64_t>& indices) override {
-    return trainer_.Pretrain(dataset, indices);
+    // The baseline interface predates the Result-returning trainer API;
+    // invalid inputs are programming errors in bench code, so crash loudly.
+    return trainer_.Pretrain(dataset, indices).value();
   }
   Tensor EmbedGraphs(const std::vector<const Graph*>& graphs) const override {
     return trainer_.model().EmbedGraphs(graphs);

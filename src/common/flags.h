@@ -1,0 +1,87 @@
+// Typed command-line flag parsing for tools.
+//
+// Each flag binds to a caller-owned variable whose initial value is the
+// default (shown in --help). Parse() accepts "--name=value" and, for
+// bools, bare "--name"; it rejects unknown flags, malformed values, bare
+// non-bool flags, positional arguments, and missing required flags with a
+// descriptive InvalidArgument instead of silently ignoring them.
+//
+//   int epochs = 20;
+//   std::string data;
+//   FlagSet flags("sgcl_cli pretrain");
+//   flags.Int("epochs", &epochs, "training epochs");
+//   flags.String("data", &data, "dataset path", /*required=*/true);
+//   Status st = flags.Parse(argc, argv, /*first=*/2);
+//   if (flags.help_requested()) { puts(flags.Help().c_str()); return 0; }
+//   if (!st.ok()) { ... }
+#ifndef SGCL_COMMON_FLAGS_H_
+#define SGCL_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sgcl {
+
+class FlagSet {
+ public:
+  // `usage` is the command line shown at the top of Help().
+  explicit FlagSet(std::string usage);
+
+  // Registration. `target` must outlive Parse; its current value is the
+  // default. Flag names must be unique.
+  void String(const std::string& name, std::string* target,
+              const std::string& help, bool required = false);
+  void Int(const std::string& name, int* target, const std::string& help,
+           bool required = false);
+  void Int64(const std::string& name, int64_t* target,
+             const std::string& help, bool required = false);
+  void Uint64(const std::string& name, uint64_t* target,
+              const std::string& help, bool required = false);
+  void Double(const std::string& name, double* target,
+              const std::string& help, bool required = false);
+  void Bool(const std::string& name, bool* target, const std::string& help);
+
+  // Parses argv[first..argc). On success every flag's target holds its
+  // parsed or default value. "--help" anywhere stops parsing, sets
+  // help_requested(), and returns OK without enforcing required flags.
+  Status Parse(int argc, char** argv, int first);
+
+  bool help_requested() const { return help_requested_; }
+
+  // Whether `name` was explicitly set by the parsed command line.
+  bool IsSet(const std::string& name) const;
+
+  // Auto-generated usage text: one line per flag with type, default, and
+  // requiredness.
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kInt, kInt64, kUint64, kDouble, kBool };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_str;
+    bool required = false;
+    bool set = false;
+  };
+
+  void Register(const std::string& name, Type type, void* target,
+                const std::string& help, bool required,
+                std::string default_str);
+  Flag* Find(const std::string& name);
+  const Flag* Find(const std::string& name) const;
+  Status SetValue(Flag* flag, const std::string& value, bool has_value);
+
+  std::string usage_;
+  std::vector<Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_COMMON_FLAGS_H_

@@ -1,0 +1,165 @@
+// Thread-safe process metrics: named counters, gauges, and fixed-bucket
+// histograms behind a registry with consistent snapshots and JSONL export.
+//
+// Design goals, in order:
+//  1. Negligible overhead on hot paths. Updates are single relaxed
+//     atomics; instrumentation sites cache the metric pointer in a
+//     function-local static so the name lookup happens once per process.
+//  2. Always-on. Metrics accumulate unconditionally (unlike trace spans,
+//     which are off unless enabled); "export or not" is the caller's
+//     decision at snapshot time.
+//  3. Deterministic output. Snapshots serialize metrics in name order, so
+//     two runs with identical workloads produce byte-identical JSON
+//     (modulo timing-valued metrics).
+//
+// Naming convention: "<subsystem>/<metric>[_<unit>]", e.g.
+// "parallel/tasks", "time/generator_us". Stage-duration counters use the
+// "time/" prefix and "_us" suffix; SgclTrainer turns exactly those into
+// per-stage second tallies (see sgcl_trainer.h).
+#ifndef SGCL_COMMON_METRICS_H_
+#define SGCL_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sgcl {
+
+// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+// (bounds ascending); one implicit overflow bucket counts the rest.
+// Observe is lock-free: bucket counts and the total count are relaxed
+// atomics, the running sum is a CAS loop (atomic<double>::fetch_add is
+// not universally available pre-C++20 ABI).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<int64_t> BucketCounts() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<int64_t> buckets;  // bounds.size() + 1 (overflow last)
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  // One JSON object (single line, no trailing newline), keys sorted:
+  // {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+};
+
+// Owner of all metrics. Get* registers on first use and returns a pointer
+// that stays valid (and keeps accumulating across Reset) for the registry's
+// lifetime, so call sites may cache it in a static.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // Re-registering an existing histogram ignores `bounds` (first wins).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+  // Zeroes every metric's value; registrations (and cached pointers)
+  // survive. Intended for tests and per-run isolation in tools.
+  void Reset();
+
+  // The process-wide registry all built-in instrumentation reports to.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Writes `snapshot` as one JSONL record to `out` (JSON object + '\n').
+void AppendMetricsJsonl(const MetricsSnapshot& snapshot, std::ostream* out);
+
+// JSON string escaping for metric names / labels (shared with trace
+// export and the CLI's epoch records).
+std::string JsonEscape(const std::string& s);
+
+// Formats a double as a JSON-safe token: finite values round-trip via
+// "%.17g", non-finite values degrade to 0 (JSON has no NaN/Inf).
+std::string JsonDouble(double v);
+
+// RAII stage timer: adds the scope's wall time in microseconds to a
+// counter on destruction. Prefer SGCL_TRACE_SPAN_TIMED (trace.h) at
+// instrumentation sites so the stage also shows up in traces.
+class ScopedUsTimer {
+ public:
+  explicit ScopedUsTimer(Counter* counter)
+      : counter_(counter), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedUsTimer() {
+    if (counter_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    counter_->Increment(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
+  ScopedUsTimer(const ScopedUsTimer&) = delete;
+  ScopedUsTimer& operator=(const ScopedUsTimer&) = delete;
+
+ private:
+  Counter* counter_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_COMMON_METRICS_H_

@@ -1,16 +1,46 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace sgcl {
 namespace {
 
 thread_local bool t_in_pool_worker = false;
+
+// Runtime telemetry (see metrics.h). Task counts are plain counters;
+// queue wait (submit -> dequeue latency) is a histogram whose buckets
+// cover "pool keeping up" (tens of µs) through "pool saturated" (ms+).
+Counter* TasksCounter() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("parallel/tasks");
+  return c;
+}
+
+Counter* InlineRunsCounter() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("parallel/inline_runs");
+  return c;
+}
+
+Counter* ParallelForCounter() {
+  static Counter* const c =
+      MetricsRegistry::Global().GetCounter("parallel/parallel_fors");
+  return c;
+}
+
+Histogram* QueueWaitHistogram() {
+  static Histogram* const h = MetricsRegistry::Global().GetHistogram(
+      "parallel/queue_wait_us",
+      {10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 20000.0, 100000.0});
+  return h;
+}
 
 int DefaultThreadCount() {
   if (const char* env = std::getenv("SGCL_NUM_THREADS")) {
@@ -54,10 +84,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  TasksCounter()->Increment();
+  const auto enqueued = std::chrono::steady_clock::now();
+  auto timed_task = [task = std::move(task), enqueued] {
+    QueueWaitHistogram()->Observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - enqueued)
+            .count()));
+    task();
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
     SGCL_CHECK(!stop_);
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(timed_task));
   }
   cv_.notify_one();
 }
@@ -102,14 +141,17 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   grain = std::max<int64_t>(1, grain);
   const int64_t range = end - begin;
   if (range <= grain || ThreadPool::InWorkerThread()) {
+    InlineRunsCounter()->Increment();
     fn(begin, end);
     return;
   }
   ThreadPool& pool = GlobalThreadPool();
   if (pool.size() <= 1) {
+    InlineRunsCounter()->Increment();
     fn(begin, end);
     return;
   }
+  ParallelForCounter()->Increment();
   int64_t num_chunks =
       std::min<int64_t>(pool.size(), (range + grain - 1) / grain);
   const int64_t chunk = (range + num_chunks - 1) / num_chunks;

@@ -1,0 +1,104 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace sgcl {
+namespace {
+
+std::atomic<int> g_next_thread_id{0};
+
+int AssignThreadId() {
+  thread_local int id = g_next_thread_id.fetch_add(1);
+  return id;
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceCollector::Record(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::vector<TraceCollector::Event> TraceCollector::Events() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.dur_us > b.dur_us;
+            });
+  return events;
+}
+
+std::string TraceCollector::ToChromeTraceJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : Events()) {
+    if (!first) out += ',';
+    first = false;
+    out += StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"sgcl\",\"ph\":\"X\",\"ts\":%lld,"
+        "\"dur\":%lld,\"pid\":0,\"tid\":%d}",
+        JsonEscape(e.name).c_str(), static_cast<long long>(e.start_us),
+        static_cast<long long>(e.dur_us), e.tid);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status TraceCollector::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open trace file " + path);
+  }
+  out << ToChromeTraceJson() << '\n';
+  out.flush();
+  if (!out) return Status::Internal("short write to trace file " + path);
+  return Status::OK();
+}
+
+int64_t TraceCollector::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int TraceCollector::CurrentThreadId() { return AssignThreadId(); }
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!tracing_ && counter_ == nullptr) return;
+  TraceCollector& collector = TraceCollector::Global();
+  const int64_t end_us = collector.NowUs();
+  if (counter_ != nullptr) counter_->Increment(end_us - start_us_);
+  // Spans that began before Enable() (or after a disable) are dropped
+  // rather than recorded with a bogus duration.
+  if (tracing_ && collector.enabled()) {
+    TraceCollector::Event event;
+    event.name = name_;
+    event.tid = TraceCollector::CurrentThreadId();
+    event.start_us = start_us_;
+    event.dur_us = end_us - start_us_;
+    collector.Record(std::move(event));
+  }
+}
+
+}  // namespace sgcl

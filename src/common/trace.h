@@ -1,0 +1,122 @@
+// Scoped trace spans exported as chrome://tracing "trace event" JSON.
+//
+// Usage at an instrumentation site:
+//   void Stage() {
+//     SGCL_TRACE_SPAN("generator/encode_views");
+//     ...
+//   }
+// or, to also accumulate the stage's wall time into a metrics counter
+// (the "time/<stage>_us" convention consumed by SgclTrainer):
+//   SGCL_TRACE_SPAN_TIMED("generator");   // counter "time/generator_us"
+//
+// Collection is off by default: a disabled span costs one relaxed atomic
+// load and no clock reads (TIMED spans keep feeding their counter either
+// way — metrics are always-on). Enable with
+// TraceCollector::Global().Enable(true), then WriteChromeTrace() produces
+// a file loadable by chrome://tracing / Perfetto.
+//
+// Span conventions: names are "<subsystem>/<what>" (stage-level, not
+// per-node — spans inside tight loops belong at chunk granularity).
+// Thread ids are small dense integers assigned in first-span order; tid 0
+// is whichever thread traced first (normally the main thread).
+#ifndef SGCL_COMMON_TRACE_H_
+#define SGCL_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace sgcl {
+
+// Process-wide sink for completed spans. Thread-safe.
+class TraceCollector {
+ public:
+  struct Event {
+    std::string name;
+    int tid = 0;
+    int64_t start_us = 0;  // relative to the collector's epoch
+    int64_t dur_us = 0;
+  };
+
+  TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(Event event);
+  void Clear();
+
+  // Copy of all recorded events, ordered by (start_us, dur_us desc) so a
+  // parent span sorts before the children it encloses.
+  std::vector<Event> Events() const;
+
+  // {"traceEvents":[...],"displayTimeUnit":"ms"} with one "ph":"X"
+  // complete event per span.
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  // Microseconds since the collector's epoch (steady clock).
+  int64_t NowUs() const;
+  // Dense id of the calling thread, assigned on first use.
+  static int CurrentThreadId();
+
+  static TraceCollector& Global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+// RAII span. When `time_counter` is non-null the scope's duration is
+// always added to it (in µs); the trace event itself is only recorded
+// while the global collector is enabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Counter* time_counter = nullptr)
+      : name_(name), counter_(time_counter) {
+    tracing_ = TraceCollector::Global().enabled();
+    if (tracing_ || counter_ != nullptr) {
+      start_us_ = TraceCollector::Global().NowUs();
+    }
+  }
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  Counter* counter_;
+  bool tracing_ = false;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace sgcl
+
+#define SGCL_TRACE_CONCAT_IMPL_(a, b) a##b
+#define SGCL_TRACE_CONCAT_(a, b) SGCL_TRACE_CONCAT_IMPL_(a, b)
+
+// Trace-only span (no metrics counter).
+#define SGCL_TRACE_SPAN(name)                                       \
+  ::sgcl::TraceSpan SGCL_TRACE_CONCAT_(_sgcl_trace_span_, __LINE__)(name)
+
+// Span that also accumulates wall time into counter "time/<name>_us" in
+// the global metrics registry. `name` must be a string literal.
+#define SGCL_TRACE_SPAN_TIMED(name)                                        \
+  static ::sgcl::Counter* SGCL_TRACE_CONCAT_(_sgcl_span_counter_,          \
+                                             __LINE__) =                   \
+      ::sgcl::MetricsRegistry::Global().GetCounter("time/" name "_us");    \
+  ::sgcl::TraceSpan SGCL_TRACE_CONCAT_(_sgcl_trace_span_, __LINE__)(       \
+      name, SGCL_TRACE_CONCAT_(_sgcl_span_counter_, __LINE__))
+
+#endif  // SGCL_COMMON_TRACE_H_

@@ -3,8 +3,36 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
+
 namespace sgcl {
 namespace {
+
+// Augmentation telemetry (always-on; see metrics.h). Drop counts are the
+// quantity the GCL empirical literature keys on, so they are first-class
+// metrics rather than log lines.
+void CountPlan(const AugmentationPlan& plan) {
+  static Counter* const plans =
+      MetricsRegistry::Global().GetCounter("augmentation/plans");
+  static Counter* const nodes =
+      MetricsRegistry::Global().GetCounter("augmentation/nodes");
+  static Counter* const dropped_sample = MetricsRegistry::Global().GetCounter(
+      "augmentation/nodes_dropped_sample");
+  static Counter* const dropped_complement =
+      MetricsRegistry::Global().GetCounter(
+          "augmentation/nodes_dropped_complement");
+  static Counter* const semantic = MetricsRegistry::Global().GetCounter(
+      "augmentation/semantic_related_nodes");
+  int64_t drop_s = 0, drop_c = 0, related = 0;
+  for (uint8_t keep : plan.keep_sample) drop_s += keep ? 0 : 1;
+  for (uint8_t keep : plan.keep_complement) drop_c += keep ? 0 : 1;
+  for (uint8_t c : plan.binary_semantic) related += c ? 1 : 0;
+  plans->Increment();
+  nodes->Increment(static_cast<int64_t>(plan.keep_sample.size()));
+  dropped_sample->Increment(drop_s);
+  dropped_complement->Increment(drop_c);
+  semantic->Increment(related);
+}
 
 // Drops `num_drop` of the nodes with eligible[i] != 0, sampled without
 // replacement proportionally to drop_weight[i]; returns the keep mask.
@@ -70,6 +98,7 @@ AugmentationPlan BuildAugmentationPlan(const std::vector<float>& lipschitz,
     plan.keep_sample = SampleDrops(all, uniform, num_drop, rng);
     plan.keep_complement = SampleDrops(all, uniform, num_drop, rng);
     for (int64_t v = 0; v < n; ++v) plan.preserve_prob[v] = 0.5f;
+    CountPlan(plan);
     return plan;
   }
 
@@ -125,6 +154,7 @@ AugmentationPlan BuildAugmentationPlan(const std::vector<float>& lipschitz,
       std::lround(rho * static_cast<double>(num_related)));
   plan.keep_complement =
       SampleDrops(eligible_comp, drop_w_comp, drop_comp, rng);
+  CountPlan(plan);
   return plan;
 }
 

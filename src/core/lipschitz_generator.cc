@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/simd.h"
+#include "common/trace.h"
 #include "nn/gin_inference.h"
 
 namespace sgcl {
@@ -97,6 +99,9 @@ std::vector<float> LipschitzGenerator::ComputeConstants(
     offsets[g + 1] = offsets[g] + graphs[g]->num_nodes();
   }
   std::vector<float> all(static_cast<size_t>(offsets[num_graphs]), 0.0f);
+  static Counter* const graphs_counter =
+      MetricsRegistry::Global().GetCounter("generator/graphs");
+  graphs_counter->Increment(num_graphs);
   // Each graph writes its own disjoint slice, so the result is identical
   // for every thread count.
   ParallelFor(0, num_graphs, 1, [&](int64_t lo, int64_t hi) {
@@ -129,6 +134,7 @@ std::vector<float> LipschitzGenerator::ExactConstants(
   // Other architectures fall back to batched tape encodes below.
   const GinInferencePlan plan = GinInferencePlan::Build(*encoder_);
   if (plan.valid()) {
+    SGCL_TRACE_SPAN("generator/fused_views");
     GinMaskedViewKernel kernel(plan, base.features.data(), n,
                                base.edge_src.data(), base.edge_dst.data(),
                                num_edges);
@@ -136,6 +142,10 @@ std::vector<float> LipschitzGenerator::ExactConstants(
     // most max_view_nodes total view nodes.
     const int64_t grain = std::max<int64_t>(1, max_view_nodes_ / n);
     ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+      // Chunk-granularity span: one per work item, recorded on the worker
+      // thread that ran it, so traces show the fan-out without per-node
+      // overhead.
+      SGCL_TRACE_SPAN("generator/view_chunk");
       std::vector<double> disp(static_cast<size_t>(hi - lo));
       kernel.ViewDisplacementsSq(lo, hi, disp.data());
       for (int64_t r = lo; r < hi; ++r) {
@@ -164,10 +174,14 @@ std::vector<float> LipschitzGenerator::ExactConstants(
   std::vector<int32_t> edge_src, edge_dst;
   edge_src.reserve(static_cast<size_t>(views_per_chunk * num_edges));
   edge_dst.reserve(static_cast<size_t>(views_per_chunk * num_edges));
+  static Counter* const view_chunks_counter =
+      MetricsRegistry::Global().GetCounter("generator/view_chunks");
   for (int64_t chunk_begin = 0; chunk_begin < n;
        chunk_begin += views_per_chunk) {
+    view_chunks_counter->Increment();
     const int64_t num_views = std::min(views_per_chunk, n - chunk_begin);
     const int64_t chunk_nodes = num_views * n;
+    SGCL_TRACE_SPAN("generator/masked_view_chunk");
     feats.clear();
     edge_src.clear();
     edge_dst.clear();
@@ -212,10 +226,14 @@ std::vector<float> LipschitzGenerator::ExactConstants(
     views.edge_src = edge_src;
     views.edge_dst = edge_dst;
     views.features = Tensor::FromVector({chunk_nodes, f}, feats);
-    const Tensor h_views = encoder_->EncodeNodes(views.features, views).Detach();
+    const Tensor h_views = [&] {
+      SGCL_TRACE_SPAN("generator/encode_views");
+      return encoder_->EncodeNodes(views.features, views).Detach();
+    }();
     const float* hv = h_views.data();
     // Per-view displacement reduction (Eq. 15); each view owns its own
     // output entry.
+    SGCL_TRACE_SPAN("generator/displacement");
     ParallelFor(0, num_views, 1, [&](int64_t lo, int64_t hi) {
       for (int64_t v = lo; v < hi; ++v) {
         const int64_t r = chunk_begin + v;
@@ -269,6 +287,7 @@ std::vector<float> LipschitzGenerator::ExactConstantsReference(
 
 std::vector<float> LipschitzGenerator::ApproxConstants(
     const std::vector<const Graph*>& graphs) const {
+  SGCL_TRACE_SPAN("generator/approx");
   GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
   std::vector<float> constants(static_cast<size_t>(batch.num_nodes), 0.0f);
   if (batch.num_nodes == 0) return constants;

@@ -7,6 +7,7 @@
 #ifndef SGCL_CORE_SGCL_CONFIG_H_
 #define SGCL_CORE_SGCL_CONFIG_H_
 
+#include "common/status.h"
 #include "core/augmentation.h"
 #include "core/lipschitz_generator.h"
 #include "nn/encoder.h"
@@ -47,6 +48,15 @@ struct SgclConfig {
   int epochs = 40;
   int batch_size = 128;
   float grad_clip = 5.0f;
+
+  // The single entry point for config sanity: every consumer of an
+  // SgclConfig (SgclTrainer's constructor, the CLI, harnesses) funnels
+  // through this instead of scattering implicit assumptions. Checks:
+  // tau > 0, 0 <= rho <= 1, batch_size >= 2 (InfoNCE needs a negative),
+  // positive dims / layers / epochs / learning rate / max_view_nodes,
+  // non-negative loss weights. Returns InvalidArgument naming the first
+  // offending field.
+  Status Validate() const;
 };
 
 // The paper's unsupervised-learning configuration for a dataset with

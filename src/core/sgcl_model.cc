@@ -2,33 +2,11 @@
 
 #include <cmath>
 
+#include "common/trace.h"
 #include "nn/pooling.h"
 #include "tensor/ops.h"
 
 namespace sgcl {
-
-SgclConfig MakeUnsupervisedConfig(int64_t feat_dim) {
-  SgclConfig cfg;
-  cfg.encoder.arch = GnnArch::kGin;
-  cfg.encoder.in_dim = feat_dim;
-  cfg.encoder.hidden_dim = 32;
-  cfg.encoder.num_layers = 3;
-  cfg.encoder.pooling = PoolingKind::kSum;
-  cfg.proj_dim = 32;
-  return cfg;
-}
-
-SgclConfig MakeTransferConfig(int64_t feat_dim, int64_t hidden_dim) {
-  SgclConfig cfg;
-  cfg.encoder.arch = GnnArch::kGin;
-  cfg.encoder.in_dim = feat_dim;
-  cfg.encoder.hidden_dim = hidden_dim;
-  cfg.encoder.num_layers = 5;
-  cfg.encoder.pooling = PoolingKind::kSum;
-  cfg.proj_dim = hidden_dim;
-  cfg.epochs = 80;
-  return cfg;
-}
 
 SgclModel::SgclModel(const SgclConfig& config, Rng* rng) : config_(config) {
   SGCL_CHECK(rng != nullptr);
@@ -62,28 +40,37 @@ Tensor SgclModel::ComputeLoss(const std::vector<const Graph*>& graphs,
       config_.semantic_pooling;
   std::vector<float> lipschitz(static_cast<size_t>(n), 1.0f);
   if (needs_lipschitz) {
+    SGCL_TRACE_SPAN_TIMED("generator");
     lipschitz = generator_->ComputeConstants(graphs);
   }
-  Tensor h_q_nodes = f_q_->EncodeNodes(batch.features, batch);  // on tape
+  Tensor h_q_nodes = [&] {
+    SGCL_TRACE_SPAN_TIMED("encode");
+    return f_q_->EncodeNodes(batch.features, batch);  // on tape
+  }();
   Tensor learned_keep = Sigmoid(prob_head_->Forward(h_q_nodes));  // [N,1]
 
   // --- Per-graph augmentation plans (detached sampling). ---
   std::vector<uint8_t> keep_sample(static_cast<size_t>(n));
   std::vector<uint8_t> keep_complement(static_cast<size_t>(n));
   std::vector<float> binary_c(static_cast<size_t>(n));
-  for (int64_t g = 0; g < batch.num_graphs; ++g) {
-    const int64_t lo = batch.node_offsets[g], hi = batch.node_offsets[g + 1];
-    std::vector<float> k_slice(lipschitz.begin() + lo, lipschitz.begin() + hi);
-    std::vector<float> keep_slice(static_cast<size_t>(hi - lo));
-    for (int64_t v = lo; v < hi; ++v) {
-      keep_slice[v - lo] = learned_keep.At(v, 0);
-    }
-    AugmentationPlan plan = BuildAugmentationPlan(
-        k_slice, keep_slice, config_.augmentation, config_.rho, rng);
-    for (int64_t v = lo; v < hi; ++v) {
-      keep_sample[v] = plan.keep_sample[v - lo];
-      keep_complement[v] = plan.keep_complement[v - lo];
-      binary_c[v] = static_cast<float>(plan.binary_semantic[v - lo]);
+  {
+    SGCL_TRACE_SPAN_TIMED("augmentation");
+    for (int64_t g = 0; g < batch.num_graphs; ++g) {
+      const int64_t lo = batch.node_offsets[g],
+                    hi = batch.node_offsets[g + 1];
+      std::vector<float> k_slice(lipschitz.begin() + lo,
+                                 lipschitz.begin() + hi);
+      std::vector<float> keep_slice(static_cast<size_t>(hi - lo));
+      for (int64_t v = lo; v < hi; ++v) {
+        keep_slice[v - lo] = learned_keep.At(v, 0);
+      }
+      AugmentationPlan plan = BuildAugmentationPlan(
+          k_slice, keep_slice, config_.augmentation, config_.rho, rng);
+      for (int64_t v = lo; v < hi; ++v) {
+        keep_sample[v] = plan.keep_sample[v - lo];
+        keep_complement[v] = plan.keep_complement[v - lo];
+        binary_c[v] = static_cast<float>(plan.binary_semantic[v - lo]);
+      }
     }
   }
 
@@ -109,27 +96,33 @@ Tensor SgclModel::ComputeLoss(const std::vector<const Graph*>& graphs,
 
   // --- Sample view Ĝ (Eq. 19 / 22): hard drop + soft keep weights. ---
   GraphBatch sample_batch = MaskBatch(batch, keep_sample);
-  Tensor sample_nodes =
-      f_k_->EncodeNodes(sample_batch.features, sample_batch);
-  Tensor w_sample = mask_to_tensor(keep_sample);
-  if (learnable) w_sample = Mul(w_sample, p);
-  Tensor z_sample = projection_->Forward(
-      Pool(MulBroadcastCol(sample_nodes, w_sample), batch,
-           config_.encoder.pooling));
+  Tensor z_sample, z_anchor, w_sample;
+  {
+    SGCL_TRACE_SPAN_TIMED("encode");
+    Tensor sample_nodes =
+        f_k_->EncodeNodes(sample_batch.features, sample_batch);
+    w_sample = mask_to_tensor(keep_sample);
+    if (learnable) w_sample = Mul(w_sample, p);
+    z_sample = projection_->Forward(
+        Pool(MulBroadcastCol(sample_nodes, w_sample), batch,
+             config_.encoder.pooling));
 
-  // --- Anchor (Eq. 21): K_V-weighted pooling when semantic_pooling. ---
-  Tensor anchor_nodes = f_k_->EncodeNodes(batch.features, batch);
-  Tensor anchor_pooled;
-  if (config_.semantic_pooling) {
-    anchor_pooled = Pool(
-        MulBroadcastCol(anchor_nodes, Tensor::FromVector({n, 1}, lipschitz)),
-        batch, config_.encoder.pooling);
-  } else {
-    anchor_pooled = Pool(anchor_nodes, batch, config_.encoder.pooling);
+    // --- Anchor (Eq. 21): K_V-weighted pooling when semantic_pooling. ---
+    Tensor anchor_nodes = f_k_->EncodeNodes(batch.features, batch);
+    Tensor anchor_pooled;
+    if (config_.semantic_pooling) {
+      anchor_pooled =
+          Pool(MulBroadcastCol(anchor_nodes,
+                               Tensor::FromVector({n, 1}, lipschitz)),
+               batch, config_.encoder.pooling);
+    } else {
+      anchor_pooled = Pool(anchor_nodes, batch, config_.encoder.pooling);
+    }
+    z_anchor = projection_->Forward(anchor_pooled);
   }
-  Tensor z_anchor = projection_->Forward(anchor_pooled);
 
   // --- Losses (Eq. 24-27). ---
+  SGCL_TRACE_SPAN_TIMED("loss");
   Tensor loss = SemanticInfoNceLoss(z_anchor, z_sample, config_.tau);
   // Generator-tower objective: the paper trains f_q jointly but leaves
   // its gradient path implicit; Lipschitz constants are only meaningful

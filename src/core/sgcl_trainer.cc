@@ -1,32 +1,107 @@
 #include "core/sgcl_trainer.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace sgcl {
+namespace {
+
+// Stage-duration counters follow the "time/<stage>_us" convention
+// (see metrics.h); this extracts them as {stage: seconds}.
+std::map<std::string, double> StageSeconds(const MetricsSnapshot& snap) {
+  std::map<std::string, double> stages;
+  const std::string prefix = "time/";
+  const std::string suffix = "_us";
+  for (const auto& [name, us] : snap.counters) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (name.size() < prefix.size() + suffix.size()) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    const std::string stage = name.substr(
+        prefix.size(), name.size() - prefix.size() - suffix.size());
+    stages[stage] = static_cast<double>(us) * 1e-6;
+  }
+  return stages;
+}
+
+std::map<std::string, double> StageDelta(
+    const std::map<std::string, double>& before,
+    const std::map<std::string, double>& after) {
+  std::map<std::string, double> delta;
+  for (const auto& [stage, seconds] : after) {
+    const auto it = before.find(stage);
+    const double prev = it == before.end() ? 0.0 : it->second;
+    if (seconds > prev) delta[stage] = seconds - prev;
+  }
+  return delta;
+}
+
+}  // namespace
 
 SgclTrainer::SgclTrainer(const SgclConfig& config, uint64_t seed)
     : config_(config), rng_(seed) {
+  const Status valid = config.Validate();
+  if (!valid.ok()) {
+    SGCL_LOG(ERROR) << "invalid SgclConfig: " << valid.ToString();
+  }
+  SGCL_CHECK(valid.ok());
   model_ = std::make_unique<SgclModel>(config_, &rng_);
   optimizer_ = std::make_unique<Adam>(model_->Parameters(),
                                       config_.learning_rate);
 }
 
-PretrainStats SgclTrainer::Pretrain(const GraphDataset& dataset,
-                                    const std::vector<int64_t>& indices) {
+Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
+                                            const std::vector<int64_t>& indices,
+                                            const PretrainOptions& options) {
   std::vector<int64_t> order = indices;
   if (order.empty()) {
     order.resize(dataset.size());
     for (int64_t i = 0; i < dataset.size(); ++i) order[i] = i;
   }
-  SGCL_CHECK_GE(order.size(), 2u);
+  if (order.size() < 2) {
+    return Status::InvalidArgument(
+        "Pretrain needs at least 2 graphs (InfoNCE requires a negative)");
+  }
+  for (int64_t index : order) {
+    if (index < 0 || index >= dataset.size()) {
+      return Status::OutOfRange("Pretrain index outside dataset");
+    }
+  }
   PretrainStats stats;
   stats.epoch_losses.reserve(config_.epochs);
+  stats.epoch_seconds.reserve(config_.epochs);
+  Stopwatch run_watch;
+  const std::map<std::string, double> run_stage_before =
+      StageSeconds(MetricsRegistry::Global().Snapshot());
+  std::map<std::string, double> stage_before = run_stage_before;
+  static Counter* const epochs_counter =
+      MetricsRegistry::Global().GetCounter("train/epochs");
+  static Counter* const batches_counter =
+      MetricsRegistry::Global().GetCounter("train/batches");
+  static Gauge* const loss_gauge =
+      MetricsRegistry::Global().GetGauge("train/last_epoch_loss");
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    SGCL_TRACE_SPAN("train/epoch");
+    Stopwatch epoch_watch;
     rng_.Shuffle(&order);
     double epoch_loss = 0.0;
     int64_t batches = 0;
     for (size_t start = 0; start + 1 < order.size();
          start += config_.batch_size) {
+      if (options.should_cancel && options.should_cancel()) {
+        stats.cancelled = true;
+        stats.total_seconds = run_watch.ElapsedSeconds();
+        stats.stage_seconds =
+            StageDelta(run_stage_before,
+                       StageSeconds(MetricsRegistry::Global().Snapshot()));
+        return stats;
+      }
       const size_t end =
           std::min(order.size(), start + config_.batch_size);
       if (end - start < 2) {
@@ -42,6 +117,7 @@ PretrainStats SgclTrainer::Pretrain(const GraphDataset& dataset,
         }
         break;
       }
+      SGCL_TRACE_SPAN("train/batch");
       std::vector<const Graph*> batch;
       batch.reserve(end - start);
       for (size_t i = start; i < end; ++i) {
@@ -49,17 +125,45 @@ PretrainStats SgclTrainer::Pretrain(const GraphDataset& dataset,
       }
       optimizer_->ZeroGrad();
       Tensor loss = model_->ComputeLoss(batch, &rng_);
-      loss.Backward();
-      optimizer_->ClipGradNorm(config_.grad_clip);
-      optimizer_->Step();
+      {
+        SGCL_TRACE_SPAN_TIMED("backward");
+        loss.Backward();
+      }
+      {
+        SGCL_TRACE_SPAN_TIMED("optimizer");
+        optimizer_->ClipGradNorm(config_.grad_clip);
+        optimizer_->Step();
+      }
       epoch_loss += loss.item();
       ++batches;
+      batches_counter->Increment();
     }
     const float mean_loss =
         batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
     stats.epoch_losses.push_back(mean_loss);
+    const double epoch_seconds = epoch_watch.ElapsedSeconds();
+    stats.epoch_seconds.push_back(epoch_seconds);
+    stats.total_batches += batches;
+    epochs_counter->Increment();
+    loss_gauge->Set(mean_loss);
     SGCL_LOG(DEBUG) << "pretrain epoch " << epoch << " loss " << mean_loss;
+    if (options.on_epoch_end) {
+      const std::map<std::string, double> stage_after =
+          StageSeconds(MetricsRegistry::Global().Snapshot());
+      EpochReport report;
+      report.epoch = epoch;
+      report.total_epochs = config_.epochs;
+      report.mean_loss = mean_loss;
+      report.batches = batches;
+      report.seconds = epoch_seconds;
+      report.stage_seconds = StageDelta(stage_before, stage_after);
+      stage_before = std::move(stage_after);
+      options.on_epoch_end(report);
+    }
   }
+  stats.total_seconds = run_watch.ElapsedSeconds();
+  stats.stage_seconds = StageDelta(
+      run_stage_before, StageSeconds(MetricsRegistry::Global().Snapshot()));
   return stats;
 }
 

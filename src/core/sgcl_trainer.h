@@ -1,29 +1,77 @@
-// Self-supervised pretraining loop for SGCL.
+// Self-supervised pretraining loop for SGCL, with an observer-based
+// progress/observability API.
 #ifndef SGCL_CORE_SGCL_TRAINER_H_
 #define SGCL_CORE_SGCL_TRAINER_H_
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/sgcl_model.h"
 #include "graph/dataset.h"
 #include "tensor/optimizer.h"
 
 namespace sgcl {
 
+// Per-epoch progress record handed to PretrainOptions::on_epoch_end.
+struct EpochReport {
+  int epoch = 0;        // 0-based
+  int total_epochs = 0;
+  float mean_loss = 0.0f;  // mean minibatch loss of this epoch
+  int64_t batches = 0;
+  double seconds = 0.0;  // wall time of this epoch
+  // Wall seconds spent per instrumented stage during this epoch, keyed by
+  // stage name ("generator", "augmentation", "encode", "loss",
+  // "backward", "optimizer", ...). Derived from the global metrics
+  // registry's "time/<stage>_us" counters, so stages nested in parallel
+  // workers aggregate across threads and a stage's total can exceed the
+  // epoch's wall time.
+  std::map<std::string, double> stage_seconds;
+};
+
 struct PretrainStats {
-  std::vector<float> epoch_losses;  // mean minibatch loss per epoch
+  std::vector<float> epoch_losses;   // mean minibatch loss per epoch
+  std::vector<double> epoch_seconds; // wall time per epoch
+  double total_seconds = 0.0;
+  int64_t total_batches = 0;
+  // Sum of per-epoch stage_seconds over the whole run.
+  std::map<std::string, double> stage_seconds;
+  // True when PretrainOptions::should_cancel stopped the run early;
+  // epoch_losses then holds only the completed epochs.
+  bool cancelled = false;
+};
+
+// Observability and control hooks for Pretrain. Default-constructed
+// options reproduce the plain training loop exactly: the observer only
+// reads timings, so attaching one never changes epoch_losses (the loop's
+// RNG stream and arithmetic are untouched).
+struct PretrainOptions {
+  // Called after each completed epoch.
+  std::function<void(const EpochReport&)> on_epoch_end;
+  // Polled between batches; returning true stops training after the
+  // current batch (the partial epoch is discarded from epoch_losses and
+  // stats.cancelled is set).
+  std::function<bool()> should_cancel;
 };
 
 class SgclTrainer {
  public:
+  // `config` must pass SgclConfig::Validate(); a failed validation is a
+  // programming error here (fatal). Callers holding untrusted configs
+  // (e.g. the CLI) validate first and surface the Status themselves.
   SgclTrainer(const SgclConfig& config, uint64_t seed);
 
   // Runs config.epochs of Adam over shuffled minibatches of `graphs`
   // (indices into `dataset`; empty = all graphs). Minibatches with fewer
-  // than 2 graphs are skipped (InfoNCE needs a negative).
-  PretrainStats Pretrain(const GraphDataset& dataset,
-                         const std::vector<int64_t>& indices = {});
+  // than 2 graphs are skipped (InfoNCE needs a negative). Returns
+  // InvalidArgument when fewer than 2 graphs are selected or an index is
+  // out of range.
+  Result<PretrainStats> Pretrain(const GraphDataset& dataset,
+                                 const std::vector<int64_t>& indices = {},
+                                 const PretrainOptions& options = {});
 
   SgclModel& model() { return *model_; }
   const SgclModel& model() const { return *model_; }

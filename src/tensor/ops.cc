@@ -2,12 +2,26 @@
 
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 
 namespace sgcl {
 namespace {
 
 using internal::MakeOpOutput;
+
+// Kernel dispatch tallies (always-on; one relaxed atomic per call — noise
+// next to the O(mkn) kernels they count).
+void TallyMatMul(const char* which, int64_t flops) {
+  static Counter* const matmul =
+      MetricsRegistry::Global().GetCounter("tensor/matmul_calls");
+  static Counter* const matmul_tb =
+      MetricsRegistry::Global().GetCounter("tensor/matmul_transb_calls");
+  static Counter* const flops_counter =
+      MetricsRegistry::Global().GetCounter("tensor/matmul_flops");
+  (which[0] == 't' ? matmul_tb : matmul)->Increment();
+  flops_counter->Increment(flops);
+}
 
 // Rows per ParallelFor chunk for a kernel costing `flops_per_row`: small
 // matrices stay inline; large ones split into ~64 KFLOP tasks.
@@ -53,6 +67,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   SGCL_CHECK_EQ(b.dim(), 2);
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   SGCL_CHECK_EQ(k, b.rows());
+  TallyMatMul("matmul", 2 * m * k * n);
   std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
   const float* ad = a.data();
   const float* bd = b.data();
@@ -119,6 +134,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   SGCL_CHECK_EQ(b.dim(), 2);
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
   SGCL_CHECK_EQ(k, b.cols());
+  TallyMatMul("transb", 2 * m * k * n);
   std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
   const float* ad = a.data();
   const float* bd = b.data();

@@ -1,0 +1,132 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace sgcl {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  g.Set(1.5);
+  g.Set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  // Bucket i counts v <= bounds[i]; the overflow bucket counts the rest.
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.0);    // bucket 0
+  h.Observe(1.0);    // bucket 0 (inclusive upper edge)
+  h.Observe(1.0001); // bucket 1
+  h.Observe(10.0);   // bucket 1
+  h.Observe(99.9);   // bucket 2
+  h.Observe(100.0);  // bucket 2
+  h.Observe(100.5);  // overflow
+  h.Observe(1e12);   // overflow
+  std::vector<int64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2);
+  EXPECT_EQ(buckets[1], 2);
+  EXPECT_EQ(buckets[2], 2);
+  EXPECT_EQ(buckets[3], 2);
+  EXPECT_EQ(h.count(), 8);
+}
+
+TEST(HistogramTest, SumAccumulates) {
+  Histogram h({10.0});
+  h.Observe(1.0);
+  h.Observe(2.5);
+  h.Observe(100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.BucketCounts()[0], 0);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x/count");
+  Counter* b = registry.GetCounter("x/count");
+  EXPECT_EQ(a, b);
+  a->Increment(7);
+  EXPECT_EQ(registry.Snapshot().counters.at("x/count"), 7);
+  // Reset zeroes values but keeps registrations and cached pointers live.
+  registry.Reset();
+  EXPECT_EQ(a->value(), 0);
+  a->Increment(3);
+  EXPECT_EQ(registry.Snapshot().counters.at("x/count"), 3);
+}
+
+TEST(MetricsRegistryTest, HistogramFirstBoundsWin) {
+  MetricsRegistry registry;
+  Histogram* a = registry.GetHistogram("h", {1.0, 2.0});
+  Histogram* b = registry.GetHistogram("h", {99.0});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsFromParallelFor) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("par/count");
+  Histogram* h = registry.GetHistogram("par/hist", {100.0, 1000.0});
+  constexpr int64_t kN = 20000;
+  ParallelFor(0, kN, /*grain=*/64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      c->Increment();
+      h->Observe(static_cast<double>(i % 2000));
+    }
+  });
+  EXPECT_EQ(c->value(), kN);
+  EXPECT_EQ(h->count(), kN);
+  int64_t total = 0;
+  for (int64_t b : h->BucketCounts()) total += b;
+  EXPECT_EQ(total, kN);
+}
+
+TEST(MetricsSnapshotTest, JsonRoundTripShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("a/count")->Increment(5);
+  registry.GetGauge("b/gauge")->Set(2.5);
+  Histogram* h = registry.GetHistogram("c/hist", {1.0});
+  h->Observe(0.5);
+  h->Observe(7.0);
+  const std::string json = registry.Snapshot().ToJson();
+  // Deterministic name-ordered serialization, parsable structure.
+  EXPECT_EQ(json,
+            "{\"counters\":{\"a/count\":5},"
+            "\"gauges\":{\"b/gauge\":2.5},"
+            "\"histograms\":{\"c/hist\":{\"bounds\":[1],"
+            "\"buckets\":[1,1],\"count\":2,\"sum\":7.5}}}");
+}
+
+TEST(MetricsSnapshotTest, JsonEscapingAndNonFinite) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(JsonDouble(0.5), "0.5");
+  // JSON has no NaN/Inf tokens; degrade to 0.
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+TEST(MetricsTest, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,113 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace sgcl {
+namespace {
+
+// The global collector is process-wide; each test starts from a clean,
+// enabled state and disables on exit so other tests see the default-off
+// behavior.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::Global().Clear();
+    TraceCollector::Global().Enable(true);
+  }
+  void TearDown() override {
+    TraceCollector::Global().Enable(false);
+    TraceCollector::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  TraceCollector::Global().Enable(false);
+  { SGCL_TRACE_SPAN("ignored"); }
+  EXPECT_TRUE(TraceCollector::Global().Events().empty());
+}
+
+TEST_F(TraceTest, NestedSpansSortParentFirst) {
+  // Sub-µs scopes can tie on (start, dur), making the order ambiguous;
+  // the sleeps force inner to outlast the tie and outer to outlast inner.
+  {
+    SGCL_TRACE_SPAN("outer");
+    {
+      SGCL_TRACE_SPAN("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  auto events = TraceCollector::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Parent starts no later and lasts at least as long; the (start asc,
+  // dur desc) order puts it first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_LE(events[0].start_us, events[1].start_us);
+  EXPECT_GE(events[0].start_us + events[0].dur_us,
+            events[1].start_us + events[1].dur_us);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceTest, TimedSpanFeedsCounterEvenWhenDisabled) {
+  TraceCollector::Global().Enable(false);
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("time/trace_test_stage_us");
+  counter->Reset();
+  { SGCL_TRACE_SPAN_TIMED("trace_test_stage"); }
+  EXPECT_GE(counter->value(), 0);
+  EXPECT_TRUE(TraceCollector::Global().Events().empty());
+  // Enabled, the same site records a span too.
+  TraceCollector::Global().Enable(true);
+  { SGCL_TRACE_SPAN_TIMED("trace_test_stage"); }
+  auto events = TraceCollector::Global().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "trace_test_stage");
+}
+
+TEST_F(TraceTest, ChromeTraceJsonShape) {
+  { SGCL_TRACE_SPAN("stage/a"); }
+  const std::string json = TraceCollector::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage/a\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTrip) {
+  { SGCL_TRACE_SPAN("stage/write"); }
+  const std::string path =
+      ::testing::TempDir() + "/sgcl_trace_test_out.json";
+  ASSERT_TRUE(TraceCollector::Global().WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("stage/write"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, WriteChromeTraceRejectsBadPath) {
+  EXPECT_FALSE(TraceCollector::Global()
+                   .WriteChromeTrace("/nonexistent-dir/trace.json")
+                   .ok());
+}
+
+TEST_F(TraceTest, ClearDropsEvents) {
+  { SGCL_TRACE_SPAN("gone"); }
+  EXPECT_FALSE(TraceCollector::Global().Events().empty());
+  TraceCollector::Global().Clear();
+  EXPECT_TRUE(TraceCollector::Global().Events().empty());
+}
+
+}  // namespace
+}  // namespace sgcl

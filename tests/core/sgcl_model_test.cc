@@ -148,7 +148,7 @@ TEST(SgclTrainerTest, LossDecreasesOverPretraining) {
   SgclConfig cfg = SmallConfig(ds.feat_dim());
   cfg.epochs = 8;
   SgclTrainer trainer(cfg, /*seed=*/7);
-  PretrainStats stats = trainer.Pretrain(ds);
+  PretrainStats stats = trainer.Pretrain(ds).value();
   ASSERT_EQ(stats.epoch_losses.size(), 8u);
   for (float l : stats.epoch_losses) EXPECT_TRUE(std::isfinite(l));
   // Averaged late loss below averaged early loss.
@@ -162,7 +162,7 @@ TEST(SgclTrainerTest, PretrainOnSubsetOnly) {
   SgclConfig cfg = SmallConfig(ds.feat_dim());
   cfg.epochs = 2;
   SgclTrainer trainer(cfg, 8);
-  PretrainStats stats = trainer.Pretrain(ds, {0, 1, 2, 3, 4, 5});
+  PretrainStats stats = trainer.Pretrain(ds, {0, 1, 2, 3, 4, 5}).value();
   EXPECT_EQ(stats.epoch_losses.size(), 2u);
 }
 

@@ -41,7 +41,7 @@ TEST(PipelineTest, UnsupervisedEndToEndThroughDisk) {
   cfg.epochs = 6;
   cfg.batch_size = 8;
   SgclTrainer trainer(cfg, 72);
-  PretrainStats stats = trainer.Pretrain(*dataset);
+  PretrainStats stats = trainer.Pretrain(*dataset).value();
   ASSERT_EQ(static_cast<int>(stats.epoch_losses.size()), cfg.epochs);
   const std::string ckpt_path = TempPath("pipeline_model.ckpt");
   ASSERT_TRUE(SaveCheckpoint(trainer.model(), ckpt_path).ok());

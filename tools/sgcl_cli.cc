@@ -1,51 +1,63 @@
 // Command-line workflow tool:
-//   sgcl_cli generate  --dataset=MUTAG --out=ds.bin [--graphs=N] [--seed=S]
+//   sgcl_cli generate  --dataset=MUTAG --out=ds.bin [--graphs=N]
+//                      [--node-cap=C] [--seed=S]
+//   sgcl_cli info      --data=ds.bin
 //   sgcl_cli pretrain  --data=ds.bin --out=model.ckpt [--epochs=N]
 //                      [--arch=gin|gcn|gat|sage] [--hidden=H] [--layers=L]
-//                      [--seed=S]
+//                      [--batch=B] [--seed=S] [--metrics-out=metrics.jsonl]
+//                      [--trace-out=trace.json]
 //   sgcl_cli evaluate  --data=ds.bin --model=model.ckpt [--folds=K]
 //   sgcl_cli scores    --data=ds.bin --model=model.ckpt [--graph=I]
-//   sgcl_cli info      --data=ds.bin
+//   sgcl_cli bench     [--data=ds.bin] [--epochs=N] [--graphs=N] [...]
+//                      prints a per-stage timing table
+//
+// Every command supports --help. Flags are typed (common/flags.h):
+// malformed values ("--epochs=abc"), unknown flags, and positional
+// arguments are errors, not silent defaults.
+//
+// Observability (pretrain/bench): --metrics-out streams one JSON object
+// per epoch (loss, wall seconds, per-stage seconds) plus a final line
+// embedding the full metrics-registry snapshot; --trace-out writes a
+// chrome://tracing / Perfetto-loadable span file for the whole run.
+#include <cmath>
 #include <cstdio>
-#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/flags.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/sgcl_trainer.h"
 #include "data/synthetic_tu.h"
 #include "eval/cross_validation.h"
+#include "eval/table.h"
 #include "graph/dataset_io.h"
 #include "nn/checkpoint.h"
 
 namespace sgcl {
 namespace {
 
-std::map<std::string, std::string> ParseFlags(int argc, char** argv,
-                                              int first) {
-  std::map<std::string, std::string> flags;
-  for (int i = first; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
-    const size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      flags[arg.substr(2)] = "1";
-    } else {
-      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-    }
-  }
-  return flags;
-}
-
-std::string FlagOr(const std::map<std::string, std::string>& flags,
-                   const std::string& key, const std::string& fallback) {
-  auto it = flags.find(key);
-  return it == flags.end() ? fallback : it->second;
-}
-
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+// Shared outcome of FlagSet::Parse: 0 = proceed, >= 0 returned otherwise.
+// Returns -1 to proceed, 0 for --help, 1 for a parse error.
+int HandleParse(const FlagSet& flags, const Status& st) {
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", st.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+  return -1;
 }
 
 Result<TuDataset> DatasetByName(const std::string& name) {
@@ -57,32 +69,158 @@ Result<TuDataset> DatasetByName(const std::string& name) {
                           "RDT-M-5K, IMDB-B)");
 }
 
-SgclConfig ConfigFromFlags(const std::map<std::string, std::string>& flags,
-                           int64_t feat_dim) {
-  SgclConfig cfg = MakeUnsupervisedConfig(feat_dim);
-  const std::string arch = FlagOr(flags, "arch", "gin");
-  if (arch == "gcn") cfg.encoder.arch = GnnArch::kGcn;
-  if (arch == "gat") cfg.encoder.arch = GnnArch::kGat;
-  if (arch == "sage") cfg.encoder.arch = GnnArch::kSage;
-  cfg.encoder.hidden_dim = std::atol(FlagOr(flags, "hidden", "32").c_str());
-  cfg.proj_dim = cfg.encoder.hidden_dim;
-  cfg.encoder.num_layers = std::atoi(FlagOr(flags, "layers", "3").c_str());
-  cfg.epochs = std::atoi(FlagOr(flags, "epochs", "20").c_str());
-  cfg.batch_size = std::atoi(FlagOr(flags, "batch", "16").c_str());
-  return cfg;
+// Encoder/training flags shared by pretrain, evaluate, scores, and bench.
+struct ModelFlags {
+  std::string arch = "gin";
+  int hidden = 32;
+  int layers = 3;
+  int epochs = 20;
+  int batch = 16;
+
+  void Register(FlagSet* flags) {
+    flags->String("arch", &arch, "encoder architecture: gin|gcn|gat|sage");
+    flags->Int("hidden", &hidden, "encoder hidden dimension");
+    flags->Int("layers", &layers, "encoder message-passing layers");
+    flags->Int("epochs", &epochs, "pretraining epochs");
+    flags->Int("batch", &batch, "minibatch size (graphs)");
+  }
+
+  Result<SgclConfig> ToConfig(int64_t feat_dim) const {
+    SgclConfig cfg = MakeUnsupervisedConfig(feat_dim);
+    if (arch == "gin") {
+      cfg.encoder.arch = GnnArch::kGin;
+    } else if (arch == "gcn") {
+      cfg.encoder.arch = GnnArch::kGcn;
+    } else if (arch == "gat") {
+      cfg.encoder.arch = GnnArch::kGat;
+    } else if (arch == "sage") {
+      cfg.encoder.arch = GnnArch::kSage;
+    } else {
+      return Status::InvalidArgument("--arch must be gin|gcn|gat|sage, got " +
+                                     arch);
+    }
+    cfg.encoder.hidden_dim = hidden;
+    cfg.proj_dim = hidden;
+    cfg.encoder.num_layers = layers;
+    cfg.epochs = epochs;
+    cfg.batch_size = batch;
+    SGCL_RETURN_NOT_OK(cfg.Validate());
+    return cfg;
+  }
+};
+
+// --metrics-out / --trace-out wiring shared by pretrain and bench.
+struct ObservabilityFlags {
+  std::string metrics_out;
+  std::string trace_out;
+
+  void Register(FlagSet* flags) {
+    flags->String("metrics-out", &metrics_out,
+                  "write per-epoch metrics as JSONL to this path");
+    flags->String("trace-out", &trace_out,
+                  "write a chrome://tracing span file to this path");
+  }
+};
+
+std::string EpochReportJson(const EpochReport& r) {
+  std::string json = "{\"epoch\":" + std::to_string(r.epoch) +
+                     ",\"total_epochs\":" + std::to_string(r.total_epochs) +
+                     ",\"loss\":" + JsonDouble(r.mean_loss) +
+                     ",\"seconds\":" + JsonDouble(r.seconds) +
+                     ",\"batches\":" + std::to_string(r.batches) +
+                     ",\"stages\":{";
+  bool first = true;
+  for (const auto& [stage, secs] : r.stage_seconds) {
+    if (!first) json += ",";
+    first = false;
+    json += '"';
+    json += JsonEscape(stage);
+    json += "\":";
+    json += JsonDouble(secs);
+  }
+  json += "}}";
+  return json;
 }
 
-int CmdGenerate(const std::map<std::string, std::string>& flags) {
-  auto which = DatasetByName(FlagOr(flags, "dataset", "MUTAG"));
+// Runs Pretrain with the observability sinks attached; collects per-epoch
+// reports for callers that post-process them (bench's table).
+Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
+                                       const GraphDataset& dataset,
+                                       const ObservabilityFlags& obs,
+                                       std::vector<EpochReport>* reports) {
+  std::ofstream metrics_stream;
+  if (!obs.metrics_out.empty()) {
+    metrics_stream.open(obs.metrics_out, std::ios::trunc);
+    if (!metrics_stream) {
+      return Status::Internal("cannot open --metrics-out file " +
+                             obs.metrics_out);
+    }
+  }
+  TraceCollector& collector = TraceCollector::Global();
+  if (!obs.trace_out.empty()) {
+    collector.Clear();
+    collector.Enable(true);
+  }
+  MetricsRegistry::Global().Reset();  // per-run isolation
+
+  PretrainOptions options;
+  options.on_epoch_end = [&](const EpochReport& report) {
+    if (reports != nullptr) reports->push_back(report);
+    if (metrics_stream.is_open()) {
+      metrics_stream << EpochReportJson(report) << "\n";
+    }
+    std::printf("epoch %d/%d: loss %.4f (%.2fs)\n", report.epoch + 1,
+                report.total_epochs, report.mean_loss, report.seconds);
+  };
+  Result<PretrainStats> stats = trainer->Pretrain(dataset, {}, options);
+  if (!obs.trace_out.empty()) {
+    collector.Enable(false);
+    Status st = collector.WriteChromeTrace(obs.trace_out);
+    if (!st.ok()) return st;
+    std::printf("wrote %s (%zu spans)\n", obs.trace_out.c_str(),
+                collector.Events().size());
+  }
+  if (metrics_stream.is_open()) {
+    // Final record: whole-run totals plus the full registry snapshot.
+    const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    std::string tail = "{\"final\":true";
+    if (stats.ok()) {
+      tail += ",\"total_seconds\":" + JsonDouble(stats->total_seconds) +
+              ",\"total_batches\":" + std::to_string(stats->total_batches);
+    }
+    tail += ",\"metrics\":" + snap.ToJson() + "}";
+    metrics_stream << tail << "\n";
+    if (!metrics_stream.good()) {
+      return Status::Internal("failed writing --metrics-out file " +
+                             obs.metrics_out);
+    }
+    std::printf("wrote %s\n", obs.metrics_out.c_str());
+  }
+  return stats;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  std::string dataset = "MUTAG", out = "dataset.bin";
+  int graphs = 200;
+  double node_cap = 40.0;
+  uint64_t seed = 1;
+  FlagSet flags("sgcl_cli generate");
+  flags.String("dataset", &dataset, "TU dataset name (e.g. MUTAG)");
+  flags.String("out", &out, "output dataset path");
+  flags.Int("graphs", &graphs, "number of graphs to generate");
+  flags.Double("node-cap", &node_cap, "cap on average node count");
+  flags.Uint64("seed", &seed, "generation seed");
+  if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
+    return rc;
+  }
+  auto which = DatasetByName(dataset);
   if (!which.ok()) return Fail(which.status());
   SyntheticTuOptions opt;
-  const int target = std::atoi(FlagOr(flags, "graphs", "200").c_str());
   opt.graph_fraction = std::min(
-      1.0, static_cast<double>(target) / GetTuConfig(*which).num_graphs);
-  opt.node_cap = std::atof(FlagOr(flags, "node-cap", "40").c_str());
-  opt.seed = std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+      1.0, static_cast<double>(graphs) / GetTuConfig(*which).num_graphs);
+  opt.node_cap = node_cap;
+  opt.seed = seed;
   GraphDataset ds = MakeTuDataset(*which, opt);
-  const std::string out = FlagOr(flags, "out", "dataset.bin");
   Status st = SaveDataset(ds, out);
   if (!st.ok()) return Fail(st);
   DatasetStats stats = ds.Stats();
@@ -92,8 +230,14 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int CmdInfo(const std::map<std::string, std::string>& flags) {
-  auto ds = LoadDataset(FlagOr(flags, "data", "dataset.bin"));
+int CmdInfo(int argc, char** argv) {
+  std::string data = "dataset.bin";
+  FlagSet flags("sgcl_cli info");
+  flags.String("data", &data, "dataset path");
+  if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
+    return rc;
+  }
+  auto ds = LoadDataset(data);
   if (!ds.ok()) return Fail(ds.status());
   DatasetStats stats = ds->Stats();
   std::printf("%s: %lld graphs, %d classes, %d tasks, feat dim %lld,\n"
@@ -105,17 +249,29 @@ int CmdInfo(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int CmdPretrain(const std::map<std::string, std::string>& flags) {
-  auto ds = LoadDataset(FlagOr(flags, "data", "dataset.bin"));
+int CmdPretrain(int argc, char** argv) {
+  std::string data = "dataset.bin", out = "model.ckpt";
+  uint64_t seed = 1;
+  ModelFlags model_flags;
+  ObservabilityFlags obs;
+  FlagSet flags("sgcl_cli pretrain");
+  flags.String("data", &data, "dataset path");
+  flags.String("out", &out, "output checkpoint path");
+  flags.Uint64("seed", &seed, "training seed");
+  model_flags.Register(&flags);
+  obs.Register(&flags);
+  if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
+    return rc;
+  }
+  auto ds = LoadDataset(data);
   if (!ds.ok()) return Fail(ds.status());
-  SgclConfig cfg = ConfigFromFlags(flags, ds->feat_dim());
-  const uint64_t seed =
-      std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
-  SgclTrainer trainer(cfg, seed);
-  PretrainStats stats = trainer.Pretrain(*ds);
-  std::printf("pretrained %d epochs: loss %.4f -> %.4f\n", cfg.epochs,
-              stats.epoch_losses.front(), stats.epoch_losses.back());
-  const std::string out = FlagOr(flags, "out", "model.ckpt");
+  auto cfg = model_flags.ToConfig(ds->feat_dim());
+  if (!cfg.ok()) return Fail(cfg.status());
+  SgclTrainer trainer(*cfg, seed);
+  auto stats = ObservedPretrain(&trainer, *ds, obs, nullptr);
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("pretrained %d epochs: loss %.4f -> %.4f\n", cfg->epochs,
+              stats->epoch_losses.front(), stats->epoch_losses.back());
   Status st = SaveCheckpoint(trainer.model(), out);
   if (!st.ok()) return Fail(st);
   std::printf("wrote %s (%lld parameters)\n", out.c_str(),
@@ -123,20 +279,32 @@ int CmdPretrain(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int CmdEvaluate(const std::map<std::string, std::string>& flags) {
-  auto ds = LoadDataset(FlagOr(flags, "data", "dataset.bin"));
+int CmdEvaluate(int argc, char** argv) {
+  std::string data = "dataset.bin", model_path = "model.ckpt";
+  int folds = 10;
+  uint64_t seed = 1;
+  ModelFlags model_flags;
+  FlagSet flags("sgcl_cli evaluate");
+  flags.String("data", &data, "dataset path");
+  flags.String("model", &model_path, "checkpoint path");
+  flags.Int("folds", &folds, "SVM cross-validation folds");
+  flags.Uint64("seed", &seed, "evaluation seed");
+  model_flags.Register(&flags);
+  if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
+    return rc;
+  }
+  auto ds = LoadDataset(data);
   if (!ds.ok()) return Fail(ds.status());
-  SgclConfig cfg = ConfigFromFlags(flags, ds->feat_dim());
-  const uint64_t seed =
-      std::strtoull(FlagOr(flags, "seed", "1").c_str(), nullptr, 10);
+  auto cfg = model_flags.ToConfig(ds->feat_dim());
+  if (!cfg.ok()) return Fail(cfg.status());
   Rng rng(seed);
-  SgclModel model(cfg, &rng);
-  Status st = LoadCheckpoint(FlagOr(flags, "model", "model.ckpt"), &model);
+  SgclModel model(*cfg, &rng);
+  Status st = LoadCheckpoint(model_path, &model);
   if (!st.ok()) return Fail(st);
   std::vector<const Graph*> all;
   for (int64_t i = 0; i < ds->size(); ++i) all.push_back(&ds->graph(i));
   Tensor emb = model.EmbedGraphs(all);
-  const int folds = std::atoi(FlagOr(flags, "folds", "10").c_str());
+  if (folds < 2) return Fail(Status::InvalidArgument("--folds must be >= 2"));
   MeanStd cv = SvmCrossValidate(emb.values(), emb.rows(), emb.cols(),
                                 ds->Labels(), ds->num_classes(), folds, &rng);
   std::printf("%d-fold SVM accuracy: %.2f%% ± %.2f%%\n", folds,
@@ -144,15 +312,26 @@ int CmdEvaluate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int CmdScores(const std::map<std::string, std::string>& flags) {
-  auto ds = LoadDataset(FlagOr(flags, "data", "dataset.bin"));
+int CmdScores(int argc, char** argv) {
+  std::string data = "dataset.bin", model_path = "model.ckpt";
+  int64_t index = 0;
+  ModelFlags model_flags;
+  FlagSet flags("sgcl_cli scores");
+  flags.String("data", &data, "dataset path");
+  flags.String("model", &model_path, "checkpoint path");
+  flags.Int64("graph", &index, "graph index to score");
+  model_flags.Register(&flags);
+  if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
+    return rc;
+  }
+  auto ds = LoadDataset(data);
   if (!ds.ok()) return Fail(ds.status());
-  SgclConfig cfg = ConfigFromFlags(flags, ds->feat_dim());
+  auto cfg = model_flags.ToConfig(ds->feat_dim());
+  if (!cfg.ok()) return Fail(cfg.status());
   Rng rng(1);
-  SgclModel model(cfg, &rng);
-  Status st = LoadCheckpoint(FlagOr(flags, "model", "model.ckpt"), &model);
+  SgclModel model(*cfg, &rng);
+  Status st = LoadCheckpoint(model_path, &model);
   if (!st.ok()) return Fail(st);
-  const int64_t index = std::atol(FlagOr(flags, "graph", "0").c_str());
   if (index < 0 || index >= ds->size()) {
     return Fail(Status::OutOfRange("--graph outside dataset"));
   }
@@ -173,21 +352,97 @@ int CmdScores(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdBench(int argc, char** argv) {
+  std::string data;
+  std::string dataset = "MUTAG";
+  int graphs = 60;
+  uint64_t seed = 1;
+  ModelFlags model_flags;
+  model_flags.epochs = 5;
+  ObservabilityFlags obs;
+  FlagSet flags("sgcl_cli bench");
+  flags.String("data", &data,
+               "dataset path (generates a synthetic one when empty)");
+  flags.String("dataset", &dataset, "TU dataset to synthesize when no --data");
+  flags.Int("graphs", &graphs, "synthesized graph count when no --data");
+  flags.Uint64("seed", &seed, "training seed");
+  model_flags.Register(&flags);
+  obs.Register(&flags);
+  if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
+    return rc;
+  }
+  GraphDataset ds;
+  if (data.empty()) {
+    auto which = DatasetByName(dataset);
+    if (!which.ok()) return Fail(which.status());
+    SyntheticTuOptions opt;
+    opt.graph_fraction = std::min(
+        1.0, static_cast<double>(graphs) / GetTuConfig(*which).num_graphs);
+    opt.node_cap = 20.0;
+    opt.seed = seed;
+    ds = MakeTuDataset(*which, opt);
+  } else {
+    auto loaded = LoadDataset(data);
+    if (!loaded.ok()) return Fail(loaded.status());
+    ds = std::move(*loaded);
+  }
+  auto cfg = model_flags.ToConfig(ds.feat_dim());
+  if (!cfg.ok()) return Fail(cfg.status());
+  SgclTrainer trainer(*cfg, seed);
+  std::vector<EpochReport> reports;
+  auto stats = ObservedPretrain(&trainer, ds, obs, &reports);
+  if (!stats.ok()) return Fail(stats.status());
+
+  // Per-stage wall time, mean ± std across epochs, plus the run total.
+  // Stages nest in parallel workers, so a stage total can exceed wall time.
+  std::map<std::string, std::vector<double>> by_stage;
+  std::vector<double> wall;
+  for (const EpochReport& r : reports) {
+    wall.push_back(r.seconds);
+    for (const auto& [stage, secs] : r.stage_seconds) {
+      by_stage[stage].push_back(secs);
+    }
+  }
+  auto mean_std = [](const std::vector<double>& xs) {
+    MeanStd ms;
+    if (xs.empty()) return ms;
+    for (double x : xs) ms.mean += x;
+    ms.mean /= static_cast<double>(xs.size());
+    for (double x : xs) ms.std += (x - ms.mean) * (x - ms.mean);
+    ms.std = std::sqrt(ms.std / static_cast<double>(xs.size()));
+    return ms;
+  };
+  ResultTable table({"s/epoch", "total s"});
+  for (const auto& [stage, secs] : by_stage) {
+    double total = 0.0;
+    for (double s : secs) total += s;
+    table.AddRow(stage, {mean_std(secs), MeanStd{total, 0.0}});
+  }
+  table.AddRow("epoch (wall)",
+               {mean_std(wall), MeanStd{stats->total_seconds, 0.0}});
+  std::printf("\nstage timings over %d epochs (%s, %lld graphs):\n%s",
+              static_cast<int>(reports.size()), model_flags.arch.c_str(),
+              static_cast<long long>(ds.size()),
+              table.ToString(/*with_ranks=*/false).c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: sgcl_cli <generate|info|pretrain|evaluate|scores> "
-                 "[--flags]\n");
+                 "usage: sgcl_cli "
+                 "<generate|info|pretrain|evaluate|scores|bench> [--flags]\n"
+                 "run 'sgcl_cli <command> --help' for per-command flags\n");
     return 2;
   }
   SetLogLevel(LogLevel::kWarning);
   const std::string cmd = argv[1];
-  auto flags = ParseFlags(argc, argv, 2);
-  if (cmd == "generate") return CmdGenerate(flags);
-  if (cmd == "info") return CmdInfo(flags);
-  if (cmd == "pretrain") return CmdPretrain(flags);
-  if (cmd == "evaluate") return CmdEvaluate(flags);
-  if (cmd == "scores") return CmdScores(flags);
+  if (cmd == "generate") return CmdGenerate(argc, argv);
+  if (cmd == "info") return CmdInfo(argc, argv);
+  if (cmd == "pretrain") return CmdPretrain(argc, argv);
+  if (cmd == "evaluate") return CmdEvaluate(argc, argv);
+  if (cmd == "scores") return CmdScores(argc, argv);
+  if (cmd == "bench") return CmdBench(argc, argv);
   std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
   return 2;
 }
