@@ -1,22 +1,40 @@
 #!/usr/bin/env python3
 """Validates sgcl_cli pretrain's observability exports.
 
-Usage: check_observability.py <metrics.jsonl> <trace.json>
+Offline mode (file exports):
+    check_observability.py <metrics.jsonl> <trace.json>
 
 Checks that the metrics JSONL parses line-by-line with per-epoch loss and
 stage timings plus a final registry snapshot, and that the trace file is
 chrome://tracing-loadable JSON containing the pipeline's stage spans.
+
+Live mode (telemetry endpoint):
+    check_observability.py --live <sgcl_cli> <dataset.bin>
+
+Launches `sgcl_cli pretrain --http-port=0`, parses the announced port,
+and curls /healthz, /status, and /metrics (twice) while the run is in
+flight: the Prometheus text must parse, carry no duplicate series, and
+show monotone counters across the two scrapes. The run's file exports
+(obs_metrics.jsonl / obs_trace.json) are left behind for offline checks.
 """
 import json
+import re
+import subprocess
 import sys
+import time
+import urllib.request
 
 EXPECTED_STAGES = {"generator", "augmentation", "encode", "loss",
                    "backward", "optimizer"}
 
+TELEMETRY_LINE = re.compile(
+    r"telemetry: http://127\.0\.0\.1:(\d+) run_id (\S+)")
 
-def main() -> int:
-    metrics_path, trace_path = sys.argv[1], sys.argv[2]
+SERIES_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s(\S+)$")
 
+
+def check_files(metrics_path: str, trace_path: str) -> None:
     lines = open(metrics_path).read().splitlines()
     assert len(lines) >= 2, f"expected >= 2 JSONL records, got {len(lines)}"
     epochs = [json.loads(line) for line in lines[:-1]]
@@ -26,6 +44,7 @@ def main() -> int:
     final = json.loads(lines[-1])
     assert final.get("final") and "metrics" in final, final
     assert "train/batches" in final["metrics"]["counters"], final
+    assert final.get("run_id", "").startswith("run-"), final
 
     trace = json.load(open(trace_path))
     names = {event["name"] for event in trace["traceEvents"]}
@@ -33,6 +52,97 @@ def main() -> int:
 
     print(f"ok: {len(epochs)} epoch records, "
           f"{len(trace['traceEvents'])} trace events")
+
+
+def scrape(port: int, path: str) -> str:
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=5) as response:
+        assert response.status == 200, (path, response.status)
+        return response.read().decode("utf-8")
+
+
+def parse_prometheus(text: str):
+    """Returns ({metric: type}, {series_key: value}), asserting the
+    exposition-format grammar and series uniqueness."""
+    types, series = {}, {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                assert parts[2] not in types, f"duplicate TYPE {parts[2]}"
+                types[parts[2]] = parts[3]
+            continue
+        m = SERIES_LINE.match(line)
+        assert m, f"unparsable series line: {line!r}"
+        key = m.group(1) + (m.group(2) or "")
+        assert key not in series, f"duplicate series {key}"
+        series[key] = float(m.group(3))  # accepts NaN/+Inf/-Inf spellings
+    assert series, "no series in /metrics"
+    return types, series
+
+
+def check_live(cli: str, dataset: str) -> None:
+    # Sized to run for a few seconds so the scrapes land mid-flight even
+    # on fast machines (a 16-wide 2-layer run finishes in milliseconds).
+    epochs = 40
+    proc = subprocess.Popen(
+        [cli, "pretrain", f"--data={dataset}", f"--epochs={epochs}",
+         "--hidden=64", "--layers=3", "--batch=8", "--out=obs_model.ckpt",
+         "--metrics-out=obs_metrics.jsonl", "--trace-out=obs_trace.json",
+         "--http-port=0"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    port, run_id = 0, ""
+    try:
+        for line in proc.stdout:
+            m = TELEMETRY_LINE.search(line)
+            if m:
+                port, run_id = int(m.group(1)), m.group(2)
+                break
+        assert port, "pretrain never announced a telemetry port"
+
+        health = json.loads(scrape(port, "/healthz"))
+        assert health["status"] == "ok", health
+        assert health["run_id"] == run_id, health
+        assert "version" in health and "uptime_seconds" in health, health
+
+        # The port is announced just before BeginRun; poll past the gap.
+        for _ in range(50):
+            status = json.loads(scrape(port, "/status"))
+            if status["state"] != "idle":
+                break
+            time.sleep(0.1)
+        assert status["state"] in ("running", "done"), status
+        assert status["command"] == "pretrain", status
+        assert status["run_id"] == run_id, status
+        assert status["total_epochs"] == epochs, status
+
+        types1, series1 = parse_prometheus(scrape(port, "/metrics"))
+        types2, series2 = parse_prometheus(scrape(port, "/metrics"))
+        assert types1.keys() <= types2.keys(), "metrics disappeared"
+        counters = [name for name, kind in types2.items()
+                    if kind == "counter"]
+        assert counters, "no counters exported"
+        for name in counters:
+            before = series1.get(name)
+            after = series2.get(name)
+            if before is not None and after is not None:
+                assert after >= before, (name, before, after)
+    finally:
+        # Drain stdout so the CLI never blocks on a full pipe, then wait.
+        proc.stdout.read()
+        rc = proc.wait(timeout=300)
+    assert rc == 0, f"pretrain exited with {rc}"
+    print(f"ok: live scrape on port {port}, run {run_id}, "
+          f"{len(series2)} series, {len(counters)} counters monotone")
+
+
+def main() -> int:
+    if sys.argv[1] == "--live":
+        check_live(sys.argv[2], sys.argv[3])
+    else:
+        check_files(sys.argv[1], sys.argv[2])
     return 0
 
 

@@ -1,0 +1,225 @@
+#include "common/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sgcl {
+namespace {
+
+// A request (start line + headers) larger than this is rejected; bodies
+// are ignored entirely (GET/HEAD have none we care about).
+constexpr size_t kMaxRequestBytes = 8192;
+// Per-socket recv/send deadline so one stalled client cannot hold the
+// single-threaded accept loop hostage.
+constexpr int kSocketTimeoutSec = 5;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    default:
+      return "Error";
+  }
+}
+
+void SetSocketTimeouts(int fd) {
+  struct timeval tv;
+  tv.tv_sec = kSocketTimeoutSec;
+  tv.tv_usec = 0;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+// Writes all of `data`, tolerating short writes; best-effort (the client
+// may have gone away, which is its problem, not ours).
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, HttpHandler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(int port) {
+  if (running()) {
+    return Status::InvalidArgument("HttpServer already running");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket() failed: %s", strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::Internal(
+        StrFormat("bind(127.0.0.1:%d) failed: %s", port, strerror(errno)));
+    close(fd);
+    return st;
+  }
+  if (listen(fd, /*backlog=*/16) < 0) {
+    const Status st =
+        Status::Internal(StrFormat("listen() failed: %s", strerror(errno)));
+    close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    const Status st = Status::Internal(
+        StrFormat("getsockname() failed: %s", strerror(errno)));
+    close(fd);
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // shutdown() wakes a blocked accept() on Linux; the self-connect below
+  // covers platforms where it does not.
+  shutdown(listen_fd_, SHUT_RDWR);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd >= 0) {
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port_));
+    connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+    close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int client_fd = accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      // Any other accept failure while stopping is the shutdown wakeup;
+      // outside shutdown it is unrecoverable for this loop either way.
+      if (!stopping_.load(std::memory_order_acquire)) {
+        SGCL_LOG(WARNING) << "telemetry accept() failed: " << strerror(errno);
+      }
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      close(client_fd);
+      return;
+    }
+    ServeConnection(client_fd);
+    close(client_fd);
+  }
+}
+
+void HttpServer::ServeConnection(int client_fd) {
+  SetSocketTimeouts(client_fd);
+  // Read until the end of the header block (or the size cap).
+  std::string request;
+  char buf[1024];
+  bool have_headers = false;
+  while (request.size() < kMaxRequestBytes) {
+    const ssize_t n = recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      have_headers = true;
+      break;
+    }
+  }
+
+  HttpResponse response;
+  HttpRequest parsed;
+  if (!have_headers) {
+    response.status = request.size() >= kMaxRequestBytes ? 431 : 400;
+    response.body = "bad request\n";
+  } else {
+    // Request line: METHOD SP target SP version.
+    const size_t line_end = request.find_first_of("\r\n");
+    const std::string line = request.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      response.status = 400;
+      response.body = "malformed request line\n";
+    } else {
+      parsed.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t qmark = target.find('?');
+      if (qmark != std::string::npos) {
+        parsed.query = target.substr(qmark + 1);
+        target.resize(qmark);
+      }
+      parsed.path = target;
+      if (parsed.method != "GET" && parsed.method != "HEAD") {
+        response.status = 405;
+        response.body = "only GET is supported\n";
+      } else {
+        const auto it = handlers_.find(parsed.path);
+        if (it == handlers_.end()) {
+          response.status = 404;
+          response.body = "not found; endpoints:";
+          for (const auto& [path, handler] : handlers_) {
+            response.body += " " + path;
+          }
+          response.body += "\n";
+        } else {
+          response = it->second(parsed);
+        }
+      }
+    }
+  }
+
+  std::string out = StrFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, StatusText(response.status),
+      response.content_type.c_str(), response.body.size());
+  if (parsed.method != "HEAD") out += response.body;
+  SendAll(client_fd, out);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace sgcl

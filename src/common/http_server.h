@@ -1,0 +1,93 @@
+// Minimal dependency-free blocking HTTP/1.1 server (POSIX sockets) for
+// the live telemetry endpoint.
+//
+// Design constraints, in order:
+//  1. Zero cost to the training loop. The server runs one accept thread;
+//     handlers read process-wide state (metrics registry, trace
+//     collector, RunStatusBoard) that the hot paths already publish via
+//     relaxed atomics / short critical sections. Nothing in training
+//     blocks on the server.
+//  2. Boring and bounded. Requests are served one at a time on the
+//     accept thread (concurrent clients queue in the listen backlog);
+//     request size, header count, and per-socket recv time are capped so
+//     a stuck client cannot wedge the endpoint for long.
+//  3. Clean shutdown. Stop() wakes the accept loop deterministically and
+//     joins the thread; the destructor stops too, so scoped usage is
+//     leak-free.
+//
+// Scope: GET/HEAD only, exact-path dispatch, Connection: close on every
+// response. This is a diagnostics endpoint, not a web framework — no TLS,
+// no keep-alive, no chunked encoding. Bind is loopback-only by default.
+#ifndef SGCL_COMMON_HTTP_SERVER_H_
+#define SGCL_COMMON_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace sgcl {
+
+struct HttpRequest {
+  std::string method;  // "GET", "HEAD", ...
+  std::string path;    // decoded-free target path, e.g. "/metrics"
+  std::string query;   // raw query string without the '?', may be empty
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Handlers run on the server's accept thread and must be thread-safe
+// with respect to whatever state they read.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers an exact-match handler for `path`. Must be called before
+  // Start; later registrations replace earlier ones.
+  void Handle(const std::string& path, HttpHandler handler);
+
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, see
+  // port()), starts the accept thread. InvalidArgument when already
+  // running, Internal on socket errors (e.g. port in use).
+  Status Start(int port);
+
+  // Idempotent: wakes and joins the accept thread, closes the socket.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Actual bound port (valid after a successful Start).
+  int port() const { return port_; }
+  // Total requests answered, including 404s (test/diagnostic aid).
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int client_fd);
+
+  std::map<std::string, HttpHandler> handlers_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> requests_served_{0};
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_COMMON_HTTP_SERVER_H_

@@ -1,0 +1,334 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sgcl {
+
+bool JsonValue::AsBool() const {
+  SGCL_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  SGCL_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  SGCL_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  SGCL_CHECK(is_array());
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::AsObject() const {
+  SGCL_CHECK(is_object());
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_ : fallback;
+}
+
+double JsonValue::GetDouble(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_ : fallback;
+}
+
+// Hand-rolled recursive descent over the input buffer. Errors carry a
+// byte offset; that is enough to locate problems in machine-written JSON
+// (the only kind we parse) without tracking line/column.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    SGCL_RETURN_NOT_OK(ParseValue(&value, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("invalid literal");
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = true;
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("invalid literal");
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = false;
+        return Status::OK();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("invalid literal");
+        out->type_ = JsonValue::Type::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    out->type_ = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      SGCL_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Error("expected ':' after object key");
+      }
+      ++pos_;
+      JsonValue value;
+      SGCL_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->object_[key] = std::move(value);
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    out->type_ = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      SGCL_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->array_.push_back(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  // Appends `cp` to `out` as UTF-8.
+  static void AppendCodepoint(uint32_t cp, std::string* out) {
+    if (cp <= 0x7F) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp <= 0x7FF) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp <= 0xFFFF) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          SGCL_RETURN_NOT_OK(ParseHex4(&cp));
+          // Combine UTF-16 surrogate pairs; a lone surrogate degrades to
+          // the replacement character rather than failing the file.
+          if (cp >= 0xD800 && cp <= 0xDBFF &&
+              text_.compare(pos_, 2, "\\u") == 0) {
+            pos_ += 2;
+            uint32_t low = 0;
+            SGCL_RETURN_NOT_OK(ParseHex4(&low));
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              cp = 0xFFFD;
+            }
+          } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+            cp = 0xFFFD;
+          }
+          AppendCodepoint(cp, out);
+          break;
+        }
+        default:
+          return Error("invalid escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("invalid value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      return Error("malformed number '" + token + "'");
+    }
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = v;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+Result<JsonValue> ParseJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open JSON file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal("error reading JSON file " + path);
+  Result<JsonValue> parsed = JsonValue::Parse(buffer.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+}  // namespace sgcl

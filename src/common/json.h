@@ -1,0 +1,73 @@
+// Minimal recursive-descent JSON parser for tool inputs (e.g. loading
+// google-benchmark result files in tools/bench_diff).
+//
+// Scope: full RFC 8259 value grammar — objects, arrays, strings with
+// escapes (including \uXXXX, encoded to UTF-8), numbers, booleans, null —
+// with a depth cap against adversarial nesting. Out of scope: streaming,
+// comments, trailing commas, duplicate-key detection (last key wins,
+// matching common parsers). This is a reader; JSON *writing* stays with
+// the hand-rolled emitters in metrics/trace (they control formatting).
+#ifndef SGCL_COMMON_JSON_H_
+#define SGCL_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sgcl {
+
+// An immutable parsed JSON value. Accessors are checked: asking an object
+// for array elements (etc.) is a fatal programming error, so callers test
+// the type first or use the Find/Get helpers that return nullptr/defaults.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  // Parses exactly one JSON value; trailing non-whitespace is an error.
+  static Result<JsonValue> Parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  // Object member lookup; nullptr when absent or this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+  // Typed convenience lookups with defaults for optional members.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Reads and parses a whole JSON file. NotFound / InvalidArgument carry the
+// path so tool error messages are actionable.
+Result<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace sgcl
+
+#endif  // SGCL_COMMON_JSON_H_

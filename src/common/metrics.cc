@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "common/string_util.h"
@@ -122,8 +123,42 @@ std::string JsonEscape(const std::string& s) {
 }
 
 std::string JsonDouble(double v) {
-  if (!std::isfinite(v)) return "0";
+  if (!std::isfinite(v)) return "null";
   return StrFormat("%.17g", v);
+}
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "sgcl_";
+  for (char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+double MetricsSnapshot::HistogramData::Quantile(double q) const {
+  if (count <= 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const double prev = cumulative;
+    cumulative += static_cast<double>(buckets[i]);
+    if (cumulative < rank || buckets[i] == 0) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: no finite upper edge to interpolate toward.
+      return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                            : bounds.back();
+    }
+    const double upper = bounds[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : bounds[i - 1];
+    const double fraction =
+        (rank - prev) / static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                        : bounds.back();
 }
 
 std::string MetricsSnapshot::ToJson() const {
@@ -158,11 +193,52 @@ std::string MetricsSnapshot::ToJson() const {
       if (i > 0) out += ',';
       out += StrFormat("%lld", static_cast<long long>(h.buckets[i]));
     }
-    out += StrFormat("],\"count\":%lld,\"sum\":%s}",
+    out += StrFormat("],\"count\":%lld,\"sum\":%s",
                      static_cast<long long>(h.count),
                      JsonDouble(h.sum).c_str());
+    out += StrFormat(",\"p50\":%s,\"p95\":%s,\"p99\":%s}",
+                     JsonDouble(h.Quantile(0.50)).c_str(),
+                     JsonDouble(h.Quantile(0.95)).c_str(),
+                     JsonDouble(h.Quantile(0.99)).c_str());
   }
   out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  // Sample values use Prometheus' own non-finite spellings, not JSON's.
+  const auto prom_double = [](double v) -> std::string {
+    if (std::isnan(v)) return "NaN";
+    if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+    return StrFormat("%.17g", v);
+  };
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string prom = PrometheusMetricName(name);
+    out += StrFormat("# TYPE %s counter\n%s %lld\n", prom.c_str(),
+                     prom.c_str(), static_cast<long long>(v));
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string prom = PrometheusMetricName(name);
+    out += StrFormat("# TYPE %s gauge\n%s %s\n", prom.c_str(), prom.c_str(),
+                     prom_double(v).c_str());
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string prom = PrometheusMetricName(name);
+    out += StrFormat("# TYPE %s histogram\n", prom.c_str());
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const std::string le =
+          i < h.bounds.size() ? prom_double(h.bounds[i]) : "+Inf";
+      out += StrFormat("%s_bucket{le=\"%s\"} %lld\n", prom.c_str(),
+                       le.c_str(), static_cast<long long>(cumulative));
+    }
+    out += StrFormat("%s_sum %s\n", prom.c_str(),
+                     prom_double(h.sum).c_str());
+    out += StrFormat("%s_count %lld\n", prom.c_str(),
+                     static_cast<long long>(h.count));
+  }
   return out;
 }
 

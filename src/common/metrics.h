@@ -87,14 +87,29 @@ struct MetricsSnapshot {
     std::vector<int64_t> buckets;  // bounds.size() + 1 (overflow last)
     int64_t count = 0;
     double sum = 0.0;
+
+    // Estimated q-quantile (q in [0,1], clamped) by linear interpolation
+    // within the bucket holding the target rank, Prometheus
+    // histogram_quantile-style: the first finite bucket interpolates from
+    // min(0, bound), and ranks landing in the overflow bucket degrade to
+    // the largest finite bound. NaN when the histogram is empty.
+    double Quantile(double q) const;
   };
   std::map<std::string, int64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramData> histograms;
 
   // One JSON object (single line, no trailing newline), keys sorted:
-  // {"counters":{...},"gauges":{...},"histograms":{...}}.
+  // {"counters":{...},"gauges":{...},"histograms":{...}}. Histograms
+  // include precomputed "p50"/"p95"/"p99" quantile estimates.
   std::string ToJson() const;
+
+  // Prometheus text exposition format (version 0.0.4): one "# TYPE" line
+  // plus samples per metric, in name order. Metric names are sanitized
+  // ('/' and any other character outside [a-zA-Z0-9_:] become '_') and
+  // prefixed "sgcl_"; histograms expose cumulative "_bucket{le=...}"
+  // series (including le="+Inf") plus "_sum" and "_count".
+  std::string ToPrometheusText() const;
 };
 
 // Owner of all metrics. Get* registers on first use and returns a pointer
@@ -135,8 +150,13 @@ void AppendMetricsJsonl(const MetricsSnapshot& snapshot, std::ostream* out);
 std::string JsonEscape(const std::string& s);
 
 // Formats a double as a JSON-safe token: finite values round-trip via
-// "%.17g", non-finite values degrade to 0 (JSON has no NaN/Inf).
+// "%.17g", non-finite values serialize as null (JSON has no NaN/Inf
+// tokens, and coercing them to 0 would mask loss divergence).
 std::string JsonDouble(double v);
+
+// Sanitizes an internal metric name ("parallel/queue_wait_us") into a
+// Prometheus-legal one ("sgcl_parallel_queue_wait_us").
+std::string PrometheusMetricName(const std::string& name);
 
 // RAII stage timer: adds the scope's wall time in microseconds to a
 // counter on destruction. Prefer SGCL_TRACE_SPAN_TIMED (trace.h) at

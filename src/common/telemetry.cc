@@ -1,0 +1,143 @@
+#include "common/telemetry.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+
+namespace sgcl {
+
+std::string GenerateRunId() {
+  static std::atomic<int> counter{0};
+  const auto wall = std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  return StrFormat("run-%08llx-%04x-%d",
+                   static_cast<unsigned long long>(wall),
+                   static_cast<unsigned>(getpid()) & 0xffff,
+                   counter.fetch_add(1) + 1);
+}
+
+RunStatusBoard::RunStatusBoard()
+    : start_(std::chrono::steady_clock::now()) {}
+
+void RunStatusBoard::BeginRun(const std::string& command, int total_epochs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  command_ = command;
+  state_ = "running";
+  completed_epochs_ = 0;
+  total_epochs_ = total_epochs;
+  last_epoch_seconds_ = 0.0;
+  losses_.clear();
+  stage_seconds_.clear();
+  start_ = std::chrono::steady_clock::now();
+}
+
+void RunStatusBoard::RecordEpoch(
+    int epoch, int total_epochs, double loss, double seconds,
+    const std::map<std::string, double>& stage_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  completed_epochs_ = epoch + 1;
+  total_epochs_ = total_epochs;
+  last_epoch_seconds_ = seconds;
+  losses_.push_back(loss);
+  for (const auto& [stage, secs] : stage_seconds) {
+    stage_seconds_[stage] += secs;
+  }
+}
+
+void RunStatusBoard::EndRun(bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = ok ? "done" : "failed";
+}
+
+std::string RunStatusBoard::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  // The in-progress epoch is 1-based and clamps at total once finished.
+  const int in_progress =
+      state_ == "running" ? std::min(completed_epochs_ + 1, total_epochs_)
+                          : completed_epochs_;
+  std::string json = "{\"run_id\":\"" + JsonEscape(GetRunId()) + "\"";
+  json += ",\"state\":\"" + JsonEscape(state_) + "\"";
+  json += ",\"command\":\"" + JsonEscape(command_) + "\"";
+  json += ",\"uptime_seconds\":" + JsonDouble(uptime);
+  json += ",\"epoch\":" + std::to_string(in_progress);
+  json += ",\"completed_epochs\":" + std::to_string(completed_epochs_);
+  json += ",\"total_epochs\":" + std::to_string(total_epochs_);
+  json += ",\"last_loss\":" +
+          (losses_.empty() ? std::string("null") : JsonDouble(losses_.back()));
+  json += ",\"last_epoch_seconds\":" + JsonDouble(last_epoch_seconds_);
+  json += ",\"losses\":[";
+  for (size_t i = 0; i < losses_.size(); ++i) {
+    if (i > 0) json += ',';
+    json += JsonDouble(losses_[i]);
+  }
+  json += "],\"stage_seconds\":{";
+  bool first = true;
+  for (const auto& [stage, secs] : stage_seconds_) {
+    if (!first) json += ',';
+    first = false;
+    json += "\"" + JsonEscape(stage) + "\":" + JsonDouble(secs);
+  }
+  json += "}}";
+  return json;
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+Status TelemetryServer::Start(int port, const RunStatusBoard* board) {
+  start_ = std::chrono::steady_clock::now();
+  server_.Handle("/metrics", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = MetricsRegistry::Global().Snapshot().ToPrometheusText();
+    return response;
+  });
+  server_.Handle("/healthz", [this](const HttpRequest&) {
+    const double uptime = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count();
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = "{\"status\":\"ok\",\"version\":\"" +
+                    std::string(kSgclVersion) + "\",\"run_id\":\"" +
+                    JsonEscape(GetRunId()) + "\",\"uptime_seconds\":" +
+                    JsonDouble(uptime) + ",\"pid\":" +
+                    std::to_string(getpid()) + ",\"compiler\":\"" +
+                    JsonEscape(__VERSION__) + "\"}";
+    return response;
+  });
+  server_.Handle("/status", [board](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    if (board == nullptr) {
+      response.body = "{\"state\":\"idle\"}";
+    } else {
+      response.body = board->ToJson();
+    }
+    return response;
+  });
+  server_.Handle("/trace", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = TraceCollector::Global().ToChromeTraceJson();
+    return response;
+  });
+  SGCL_RETURN_NOT_OK(server_.Start(port));
+  SGCL_LOG(INFO) << "telemetry listening on http://127.0.0.1:"
+                 << server_.port()
+                 << " (/metrics /healthz /status /trace)";
+  return Status::OK();
+}
+
+void TelemetryServer::Stop() { server_.Stop(); }
+
+}  // namespace sgcl

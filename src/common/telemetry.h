@@ -1,0 +1,100 @@
+// Live telemetry facade: one HttpServer wired to the process-wide
+// observability state, so a training/bench run can be scraped while it
+// is running instead of only inspected post-hoc via --metrics-out.
+//
+// Endpoints (all GET, loopback only):
+//   /metrics  Prometheus text exposition of the global MetricsRegistry
+//             (text/plain; version=0.0.4).
+//   /healthz  JSON liveness: status, uptime, run id, version, build info.
+//   /status   JSON live run progress from the RunStatusBoard (state,
+//             in-progress epoch, last losses, per-stage seconds).
+//   /trace    Current chrome://tracing dump of the global TraceCollector
+//             (empty traceEvents when collection is disabled).
+//
+// Correlation: every export is stamped with the process run id
+// (logging's SetRunId/GetRunId), the same id the JSONL log sink writes,
+// so logs, metrics, status, and traces join on one key.
+#ifndef SGCL_COMMON_TELEMETRY_H_
+#define SGCL_COMMON_TELEMETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/http_server.h"
+#include "common/status.h"
+
+namespace sgcl {
+
+// Semantic version reported by /healthz.
+inline constexpr const char* kSgclVersion = "0.3.0";
+
+// Process-unique correlation id: wall-clock seconds, pid, and a process
+// counter, e.g. "run-68b2c1a4-1f3a-1".
+std::string GenerateRunId();
+
+// Thread-safe live view of the current run, published by the trainer's
+// on_epoch_end observer (wired in the CLI) and read by /status. Writers
+// take a short mutex per epoch — far off any hot path.
+class RunStatusBoard {
+ public:
+  RunStatusBoard();
+
+  // Marks a run in progress (state "running") and resets epoch state.
+  void BeginRun(const std::string& command, int total_epochs);
+  // Publishes a completed epoch; /status then shows epoch `epoch + 1`
+  // of `total` as in progress until the next call or EndRun.
+  void RecordEpoch(int epoch, int total_epochs, double loss, double seconds,
+                   const std::map<std::string, double>& stage_seconds);
+  // Final state: "done" or "failed".
+  void EndRun(bool ok);
+
+  // One JSON object: run_id, state, command, uptime_seconds,
+  // completed_epochs, epoch (in progress, 1-based), total_epochs,
+  // last_loss, last_epoch_seconds, losses (per completed epoch), and
+  // cumulative stage_seconds.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string command_;
+  std::string state_ = "idle";
+  int completed_epochs_ = 0;
+  int total_epochs_ = 0;
+  double last_epoch_seconds_ = 0.0;
+  std::vector<double> losses_;
+  std::map<std::string, double> stage_seconds_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Owns the HTTP server plus the endpoint handlers. Scoped: Stop() (or
+// destruction) joins the server thread.
+class TelemetryServer {
+ public:
+  TelemetryServer() = default;
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  // Starts serving on 127.0.0.1:`port` (0 = ephemeral; see port()).
+  // `board` may be null, in which case /status reports state "idle";
+  // when non-null it must outlive the server.
+  Status Start(int port, const RunStatusBoard* board);
+  void Stop();
+
+  int port() const { return server_.port(); }
+  bool running() const { return server_.running(); }
+  int64_t requests_served() const { return server_.requests_served(); }
+
+ private:
+  HttpServer server_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_COMMON_TELEMETRY_H_

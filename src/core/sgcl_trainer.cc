@@ -1,6 +1,7 @@
 #include "core/sgcl_trainer.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -44,6 +45,15 @@ std::map<std::string, double> StageDelta(
 
 }  // namespace
 
+void RecordEpochLossMetrics(float mean_loss) {
+  static Gauge* const loss_gauge =
+      MetricsRegistry::Global().GetGauge("train/last_epoch_loss");
+  static Counter* const nonfinite_counter =
+      MetricsRegistry::Global().GetCounter("train/nonfinite_loss");
+  loss_gauge->Set(mean_loss);
+  if (!std::isfinite(mean_loss)) nonfinite_counter->Increment();
+}
+
 SgclTrainer::SgclTrainer(const SgclConfig& config, uint64_t seed)
     : config_(config), rng_(seed) {
   const Status valid = config.Validate();
@@ -84,8 +94,6 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
       MetricsRegistry::Global().GetCounter("train/epochs");
   static Counter* const batches_counter =
       MetricsRegistry::Global().GetCounter("train/batches");
-  static Gauge* const loss_gauge =
-      MetricsRegistry::Global().GetGauge("train/last_epoch_loss");
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     SGCL_TRACE_SPAN("train/epoch");
     Stopwatch epoch_watch;
@@ -145,7 +153,7 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
     stats.epoch_seconds.push_back(epoch_seconds);
     stats.total_batches += batches;
     epochs_counter->Increment();
-    loss_gauge->Set(mean_loss);
+    RecordEpochLossMetrics(mean_loss);
     SGCL_LOG(DEBUG) << "pretrain epoch " << epoch << " loss " << mean_loss;
     if (options.on_epoch_end) {
       const std::map<std::string, double> stage_after =

@@ -57,6 +57,13 @@ struct PretrainOptions {
   std::function<bool()> should_cancel;
 };
 
+// Publishes one epoch's loss to the global metrics registry: sets gauge
+// "train/last_epoch_loss" and increments counter "train/nonfinite_loss"
+// when the loss is NaN/Inf — divergence must show up in exports (where
+// JSON serializes the loss itself as null), not be masked. Called by
+// Pretrain after every epoch; exposed for direct unit testing.
+void RecordEpochLossMetrics(float mean_loss);
+
 class SgclTrainer {
  public:
   // `config` must pass SgclConfig::Validate(); a failed validation is a

@@ -1,0 +1,163 @@
+#include "common/bench_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sgcl {
+namespace {
+
+// Writes a minimal google-benchmark JSON file with the given entries.
+// Each entry line must already be a JSON object.
+std::string WriteBenchFile(const std::string& path,
+                           const std::vector<std::string>& entries) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\"context\":{\"num_cpus\":1},\"benchmarks\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out << ',';
+    out << entries[i];
+  }
+  out << "]}";
+  return path;
+}
+
+std::string Iteration(const std::string& name, double real_ms) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"run_name\":\"%s\","
+                "\"run_type\":\"iteration\",\"real_time\":%g,"
+                "\"cpu_time\":%g,\"time_unit\":\"ms\"}",
+                name.c_str(), name.c_str(), real_ms, real_ms);
+  return buf;
+}
+
+std::string Aggregate(const std::string& run_name, const std::string& kind,
+                      double real_ms) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s_%s\",\"run_name\":\"%s\","
+                "\"run_type\":\"aggregate\",\"aggregate_name\":\"%s\","
+                "\"real_time\":%g,\"cpu_time\":%g,\"time_unit\":\"ms\"}",
+                run_name.c_str(), kind.c_str(), run_name.c_str(),
+                kind.c_str(), real_ms, real_ms);
+  return buf;
+}
+
+class BenchCompareTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& path : cleanup_) std::remove(path.c_str());
+  }
+  std::string Tmp(const std::string& name) {
+    cleanup_.push_back(name);
+    return name;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(BenchCompareTest, LoadPrefersMedianAggregate) {
+  const std::string path = WriteBenchFile(
+      Tmp("bench_agg.json"),
+      {Aggregate("BM_X/16", "mean", 1.1), Aggregate("BM_X/16", "median", 1.0),
+       Aggregate("BM_X/16", "stddev", 0.1), Iteration("BM_Y/8", 2.0)});
+  auto entries = LoadBenchmarkJson(path);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 2u);
+  // ms normalized to ns.
+  EXPECT_EQ((*entries)[0].run_name, "BM_X/16");
+  EXPECT_DOUBLE_EQ((*entries)[0].real_ns, 1.0e6);
+  EXPECT_EQ((*entries)[1].run_name, "BM_Y/8");
+  EXPECT_DOUBLE_EQ((*entries)[1].real_ns, 2.0e6);
+}
+
+TEST_F(BenchCompareTest, LoadRejectsNonBenchmarkJson) {
+  const std::string path = Tmp("bench_bad.json");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"not_benchmarks\": []}";
+  }
+  EXPECT_EQ(LoadBenchmarkJson(path).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LoadBenchmarkJson("missing_bench.json").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BenchCompareTest, IdenticalInputsShowNoRegression) {
+  const std::string path = WriteBenchFile(
+      Tmp("bench_same.json"),
+      {Iteration("BM_A", 1.0), Iteration("BM_B", 5.0)});
+  auto entries = LoadBenchmarkJson(path);
+  ASSERT_TRUE(entries.ok());
+  const BenchComparison cmp = CompareBenchmarks(*entries, *entries);
+  ASSERT_EQ(cmp.matched.size(), 2u);
+  EXPECT_DOUBLE_EQ(cmp.matched[0].pct, 0.0);
+  EXPECT_DOUBLE_EQ(cmp.matched[1].pct, 0.0);
+  EXPECT_TRUE(cmp.only_base.empty());
+  EXPECT_TRUE(cmp.only_current.empty());
+  EXPECT_EQ(CountRegressions(cmp, 10.0), 0);
+  // A zero threshold flags the 0% delta (>= semantics) — the gate's
+  // documented threshold is strictly positive.
+  EXPECT_EQ(CountRegressions(cmp, 0.5), 0);
+}
+
+TEST_F(BenchCompareTest, InjectedRegressionIsFlagged) {
+  const std::string base_path = WriteBenchFile(
+      Tmp("bench_base.json"),
+      {Iteration("BM_A", 1.0), Iteration("BM_B", 5.0)});
+  const std::string cur_path = WriteBenchFile(
+      Tmp("bench_cur.json"),
+      {Iteration("BM_A", 1.3), Iteration("BM_B", 4.0)});
+  auto base = LoadBenchmarkJson(base_path);
+  auto current = LoadBenchmarkJson(cur_path);
+  ASSERT_TRUE(base.ok() && current.ok());
+  const BenchComparison cmp = CompareBenchmarks(*base, *current);
+  ASSERT_EQ(cmp.matched.size(), 2u);
+  EXPECT_NEAR(cmp.matched[0].pct, 30.0, 1e-9);   // BM_A 30% slower
+  EXPECT_NEAR(cmp.matched[1].pct, -20.0, 1e-9);  // BM_B 20% faster
+  EXPECT_EQ(CountRegressions(cmp, 10.0), 1);
+  EXPECT_EQ(CountRegressions(cmp, 50.0), 0);
+  const std::string report = FormatComparison(cmp, 10.0);
+  EXPECT_NE(report.find("REGRESSION"), std::string::npos);
+}
+
+TEST_F(BenchCompareTest, UnmatchedNamesAreReportedNotCompared) {
+  const std::string base_path =
+      WriteBenchFile(Tmp("bench_b2.json"),
+                     {Iteration("BM_A", 1.0), Iteration("BM_Old", 2.0)});
+  const std::string cur_path =
+      WriteBenchFile(Tmp("bench_c2.json"),
+                     {Iteration("BM_A", 1.0), Iteration("BM_New", 2.0)});
+  auto base = LoadBenchmarkJson(base_path);
+  auto current = LoadBenchmarkJson(cur_path);
+  ASSERT_TRUE(base.ok() && current.ok());
+  const BenchComparison cmp = CompareBenchmarks(*base, *current);
+  ASSERT_EQ(cmp.matched.size(), 1u);
+  ASSERT_EQ(cmp.only_base.size(), 1u);
+  EXPECT_EQ(cmp.only_base[0], "BM_Old");
+  ASSERT_EQ(cmp.only_current.size(), 1u);
+  EXPECT_EQ(cmp.only_current[0], "BM_New");
+}
+
+TEST_F(BenchCompareTest, LoadsCommittedBaseline) {
+  // The repo's committed baseline must stay loadable — it is the CI
+  // gate's input. Located relative to the test binary's cwd (build/tests)
+  // and the repo root for manual runs.
+  for (const char* candidate :
+       {"../../BENCH_lipschitz.json", "BENCH_lipschitz.json"}) {
+    std::ifstream probe(candidate);
+    if (!probe) continue;
+    auto entries = LoadBenchmarkJson(candidate);
+    ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+    EXPECT_GT(entries->size(), 0u);
+    const BenchComparison cmp = CompareBenchmarks(*entries, *entries);
+    EXPECT_EQ(CountRegressions(cmp, 10.0), 0);
+    return;
+  }
+  GTEST_SKIP() << "BENCH_lipschitz.json not reachable from cwd";
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,166 @@
+#include "common/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sgcl {
+namespace {
+
+// Minimal blocking HTTP client: one request, reads until the server
+// closes (Connection: close semantics). Returns the raw response text.
+std::string Fetch(int port, const std::string& request_line) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    close(fd);
+    return "";
+  }
+  const std::string request = request_line + "\r\nHost: localhost\r\n\r\n";
+  send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[2048];
+  while (true) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return Fetch(port, "GET " + path + " HTTP/1.1");
+}
+
+// Body after the header separator (empty when malformed).
+std::string Body(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(HttpServerTest, ServesRegisteredHandler) {
+  HttpServer server;
+  server.Handle("/ping", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "pong " + request.query;
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const std::string response = Get(server.port(), "/ping");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(Body(response), "pong ");
+
+  // Query strings are split off the path and passed through.
+  EXPECT_EQ(Body(Get(server.port(), "/ping?q=1")), "pong q=1");
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, UnknownPathIs404ListingEndpoints) {
+  HttpServer server;
+  server.Handle("/a", [](const HttpRequest&) { return HttpResponse{}; });
+  server.Handle("/b", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response = Get(server.port(), "/nope");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(Body(response).find("/a /b"), std::string::npos);
+}
+
+TEST(HttpServerTest, RejectsNonGetMethods) {
+  HttpServer server;
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response = Fetch(server.port(), "POST /x HTTP/1.1");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+}
+
+TEST(HttpServerTest, HeadOmitsBody) {
+  HttpServer server;
+  server.Handle("/x", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "payload";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response = Fetch(server.port(), "HEAD /x HTTP/1.1");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 7"), std::string::npos);
+  EXPECT_EQ(Body(response), "");
+}
+
+TEST(HttpServerTest, MalformedRequestIs400) {
+  HttpServer server;
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response = Fetch(server.port(), "GARBAGE");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+}
+
+TEST(HttpServerTest, ConcurrentClientsAllServed) {
+  HttpServer server;
+  server.Handle("/n", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::string> responses(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] { responses[i] = Get(server.port(), "/n"); });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const std::string& response : responses) {
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+  }
+  EXPECT_GE(server.requests_served(), static_cast<int64_t>(kClients));
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
+  HttpServer server;
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start(0).ok());
+  const int first_port = server.port();
+  EXPECT_FALSE(server.Start(0).ok());  // already running
+  server.Stop();
+  server.Stop();  // no-op
+  // A stopped server can be started again (possibly on a new port).
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_NE(Get(server.port(), "/x").find("200"), std::string::npos);
+  server.Stop();
+  (void)first_port;
+}
+
+TEST(HttpServerTest, StartFailsOnBusyPort) {
+  HttpServer a;
+  a.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(a.Start(0).ok());
+  HttpServer b;
+  b.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  const Status st = b.Start(a.port());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,99 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace sgcl {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  Result<JsonValue> parsed = JsonValue::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << " for " << text;
+  return *parsed;
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").AsBool());
+  EXPECT_FALSE(MustParse("false").AsBool());
+  EXPECT_DOUBLE_EQ(MustParse("42").AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(MustParse("-1.5e3").AsDouble(), -1500.0);
+  EXPECT_DOUBLE_EQ(MustParse("7.7663388095264452e-01").AsDouble(),
+                   0.77663388095264452);
+  EXPECT_EQ(MustParse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedContainers) {
+  const JsonValue v = MustParse(
+      "{\"benchmarks\":[{\"name\":\"BM_X/16\",\"real_time\":1.25,"
+      "\"time_unit\":\"ms\"},{\"name\":\"BM_Y\",\"real_time\":3}],"
+      "\"context\":{\"num_cpus\":1}}");
+  const JsonValue* benchmarks = v.Find("benchmarks");
+  ASSERT_NE(benchmarks, nullptr);
+  ASSERT_EQ(benchmarks->AsArray().size(), 2u);
+  const JsonValue& first = benchmarks->AsArray()[0];
+  EXPECT_EQ(first.GetString("name"), "BM_X/16");
+  EXPECT_DOUBLE_EQ(first.GetDouble("real_time"), 1.25);
+  EXPECT_EQ(first.GetString("time_unit", "ns"), "ms");
+  // Typed fallbacks for absent members.
+  EXPECT_EQ(first.GetString("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(first.GetDouble("missing", -1.0), -1.0);
+  EXPECT_EQ(v.Find("nope"), nullptr);
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(MustParse("\"a\\n\\t\\\"b\\\\c\\/\"").AsString(),
+            "a\n\t\"b\\c/");
+  // \u escapes decode to UTF-8, including surrogate pairs.
+  EXPECT_EQ(MustParse("\"\\u0041\"").AsString(), "A");
+  EXPECT_EQ(MustParse("\"\\u00e9\"").AsString(), "\xc3\xa9");
+  EXPECT_EQ(MustParse("\"\\ud83d\\ude00\"").AsString(),
+            "\xf0\x9f\x98\x80");  // U+1F600
+  // A lone surrogate degrades to U+FFFD instead of failing the document.
+  EXPECT_EQ(MustParse("\"\\ud800x\"").AsString(), "\xef\xbf\xbdx");
+}
+
+TEST(JsonTest, WhitespaceTolerant) {
+  const JsonValue v = MustParse("  { \"a\" : [ 1 , 2 ] }\n");
+  EXPECT_EQ(v.Find("a")->AsArray().size(), 2u);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());  // trailing value
+  EXPECT_FALSE(JsonValue::Parse("1.2.3").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"bad\\q\"").ok());
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, ParseJsonFileRoundTrip) {
+  const std::string path = "json_test_tmp.json";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"x\": 3.5}";
+  }
+  Result<JsonValue> parsed = ParseJsonFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->GetDouble("x"), 3.5);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(ParseJsonFile("definitely_missing.json").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace sgcl

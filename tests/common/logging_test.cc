@@ -1,10 +1,35 @@
 #include "common/logging.h"
 
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "common/stopwatch.h"
 #include "gtest/gtest.h"
 
 namespace sgcl {
 namespace {
+
+// Captures every record handed to it, for asserting on sink plumbing
+// without parsing files.
+class CapturingSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(record);
+  }
+  std::vector<LogRecord> records() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<LogRecord> records_;
+};
 
 TEST(LoggingTest, LevelRoundTrips) {
   const LogLevel original = GetLogLevel();
@@ -22,6 +47,102 @@ TEST(LoggingTest, MacroStreamsWithoutCrashing) {
   SGCL_LOG(WARNING) << "warn";
   SGCL_LOG(DEBUG) << "debug";
   SetLogLevel(original);
+}
+
+TEST(LoggingTest, RunIdRoundTrips) {
+  SetRunId("run-logging-test");
+  EXPECT_EQ(GetRunId(), "run-logging-test");
+  SetRunId("");
+  EXPECT_EQ(GetRunId(), "");
+}
+
+TEST(LoggingTest, SinksReceiveStructuredRecords) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // keep stderr quiet
+  SetRunId("run-sink-test");
+  CapturingSink sink;
+  AddLogSink(&sink);
+  SGCL_LOG(ERROR) << "boom " << 7;
+  RemoveLogSink(&sink);
+  SGCL_LOG(ERROR) << "after detach";  // must not reach the sink
+  SetRunId("");
+  SetLogLevel(original);
+
+  const std::vector<LogRecord> records = sink.records();
+  ASSERT_EQ(records.size(), 1u);
+  const LogRecord& r = records[0];
+  EXPECT_EQ(r.level, LogLevel::kError);
+  EXPECT_EQ(r.message, "boom 7");
+  EXPECT_EQ(r.run_id, "run-sink-test");
+  EXPECT_GE(r.tid, 0);
+  EXPECT_GE(r.mono_us, 0);
+  EXPECT_GT(r.wall_ms, 0);
+  EXPECT_NE(std::string(r.file).find("logging_test"), std::string::npos);
+  EXPECT_GT(r.line, 0);
+}
+
+TEST(LoggingTest, SinksOnlySeeRecordsPastThreshold) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  CapturingSink sink;
+  AddLogSink(&sink);
+  SGCL_LOG(DEBUG) << "filtered";
+  SGCL_LOG(WARNING) << "also filtered";
+  RemoveLogSink(&sink);
+  SetLogLevel(original);
+  EXPECT_TRUE(sink.records().empty());
+}
+
+TEST(JsonlLogSinkTest, OpenFailsFastOnUnwritablePath) {
+  auto sink = JsonlLogSink::Open("/nonexistent-dir/log.jsonl");
+  ASSERT_FALSE(sink.ok());
+  EXPECT_EQ(sink.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(sink.status().ToString().find("/nonexistent-dir/log.jsonl"),
+            std::string::npos);
+}
+
+TEST(JsonlLogSinkTest, WritesOneJsonObjectPerLineAndAppends) {
+  const std::string path = ::testing::TempDir() + "/sgcl_log_test.jsonl";
+  std::remove(path.c_str());
+  {
+    auto sink = JsonlLogSink::Open(path);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    LogRecord record;
+    record.level = LogLevel::kInfo;
+    record.file = "trainer.cc";
+    record.line = 42;
+    record.tid = 1;
+    record.mono_us = 1500;
+    record.wall_ms = 1700000000123;
+    record.run_id = "run-abc";
+    record.message = "epoch 1 loss 0.5 \"quoted\"";
+    (*sink)->Write(record);
+  }
+  {
+    // Re-opening appends; records from two runs share the file.
+    auto sink = JsonlLogSink::Open(path);
+    ASSERT_TRUE(sink.ok());
+    LogRecord record;
+    record.run_id = "run-def";
+    record.message = "second run";
+    (*sink)->Write(record);
+  }
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"run_id\":\"run-abc\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"t_mono_us\":1500"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"t_wall_ms\":1700000000123"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"src\":\"trainer.cc:42\""), std::string::npos);
+  EXPECT_NE(lines[0].find("loss 0.5 \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"run_id\":\"run-def\""), std::string::npos);
+  EXPECT_EQ(lines[0].front(), '{');
+  EXPECT_EQ(lines[0].back(), '}');
+  std::remove(path.c_str());
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

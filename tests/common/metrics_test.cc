@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
@@ -108,20 +112,114 @@ TEST(MetricsSnapshotTest, JsonRoundTripShape) {
   h->Observe(0.5);
   h->Observe(7.0);
   const std::string json = registry.Snapshot().ToJson();
-  // Deterministic name-ordered serialization, parsable structure.
+  // Deterministic name-ordered serialization, parsable structure, with
+  // precomputed quantile estimates per histogram.
   EXPECT_EQ(json,
             "{\"counters\":{\"a/count\":5},"
             "\"gauges\":{\"b/gauge\":2.5},"
             "\"histograms\":{\"c/hist\":{\"bounds\":[1],"
-            "\"buckets\":[1,1],\"count\":2,\"sum\":7.5}}}");
+            "\"buckets\":[1,1],\"count\":2,\"sum\":7.5,"
+            "\"p50\":1,\"p95\":1,\"p99\":1}}}");
 }
 
 TEST(MetricsSnapshotTest, JsonEscapingAndNonFinite) {
   EXPECT_EQ(JsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
   EXPECT_EQ(JsonDouble(0.5), "0.5");
-  // JSON has no NaN/Inf tokens; degrade to 0.
-  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::infinity()), "0");
-  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::quiet_NaN()), "0");
+  // JSON has no NaN/Inf tokens; serialize as null — degrading to 0 would
+  // make a diverged loss look healthy in --metrics-out.
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonDouble(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(HistogramQuantileTest, UniformDistributionInterpolates) {
+  // One observation per unit bucket: the quantile curve is the identity.
+  Histogram h({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  for (int k = 0; k < 10; ++k) h.Observe(k + 0.5);
+  MetricsSnapshot::HistogramData data;
+  data.bounds = h.bounds();
+  data.buckets = h.BucketCounts();
+  data.count = h.count();
+  data.sum = h.sum();
+  EXPECT_DOUBLE_EQ(data.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(data.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(data.Quantile(0.95), 9.5);
+  EXPECT_DOUBLE_EQ(data.Quantile(1.0), 10.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(data.Quantile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(data.Quantile(2.0), 10.0);
+}
+
+TEST(HistogramQuantileTest, WithinBucketLinearInterpolation) {
+  // All 50 observations land in the single [0, 100] bucket; the estimate
+  // interpolates linearly across it regardless of where they really sat.
+  MetricsSnapshot::HistogramData data;
+  data.bounds = {100.0};
+  data.buckets = {50, 0};
+  data.count = 50;
+  EXPECT_DOUBLE_EQ(data.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(data.Quantile(0.9), 90.0);
+}
+
+TEST(HistogramQuantileTest, EdgeCases) {
+  MetricsSnapshot::HistogramData empty;
+  empty.bounds = {1.0};
+  empty.buckets = {0, 0};
+  empty.count = 0;
+  EXPECT_TRUE(std::isnan(empty.Quantile(0.5)));
+
+  // Every observation in the overflow bucket: no finite upper edge, so
+  // the estimate degrades to the largest finite bound.
+  MetricsSnapshot::HistogramData overflow;
+  overflow.bounds = {1.0, 8.0};
+  overflow.buckets = {0, 0, 4};
+  overflow.count = 4;
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.5), 8.0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentWritersWithSnapshotReader) {
+  // TSan-covered: N writer threads hammer one registry's counters,
+  // gauges, and histograms while a reader loops Snapshot(). The final
+  // snapshot must account for every write.
+  MetricsRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 5000;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> snapshots_taken{0};
+  std::thread reader([&] {
+    int64_t last_count = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snap = registry.Snapshot();
+      const auto it = snap.counters.find("stress/count");
+      if (it != snap.counters.end()) {
+        // Counters are monotone across consecutive scrapes.
+        EXPECT_GE(it->second, last_count);
+        last_count = it->second;
+      }
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, w] {
+      Counter* c = registry.GetCounter("stress/count");
+      Gauge* g = registry.GetGauge("stress/gauge");
+      Histogram* h = registry.GetHistogram("stress/hist", {10.0, 100.0});
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        c->Increment();
+        g->Set(static_cast<double>(w * kOpsPerWriter + i));
+        h->Observe(static_cast<double>(i % 200));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("stress/count"), kWriters * kOpsPerWriter);
+  EXPECT_EQ(snap.histograms.at("stress/hist").count,
+            kWriters * kOpsPerWriter);
+  EXPECT_GT(snapshots_taken.load(), 0);
 }
 
 TEST(MetricsTest, GlobalRegistryIsSingleton) {

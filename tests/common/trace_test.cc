@@ -5,9 +5,14 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
+
+#include "common/parallel.h"
 
 namespace sgcl {
 namespace {
@@ -100,6 +105,53 @@ TEST_F(TraceTest, WriteChromeTraceRejectsBadPath) {
   EXPECT_FALSE(TraceCollector::Global()
                    .WriteChromeTrace("/nonexistent-dir/trace.json")
                    .ok());
+}
+
+TEST_F(TraceTest, ConcurrentThreadPoolSpansAreDenseAndWellNested) {
+  // TSan-covered: spans recorded from ThreadPool workers land with small
+  // dense thread ids, and spans sharing a tid are well-nested (chrome
+  // tracing renders overlapping-but-not-nested spans on one track as
+  // garbage).
+  ParallelFor(0, 64, /*grain=*/4, [](int64_t lo, int64_t hi) {
+    SGCL_TRACE_SPAN("pool/chunk_outer");
+    for (int64_t i = lo; i < hi; ++i) {
+      SGCL_TRACE_SPAN("pool/chunk_inner");
+    }
+  });
+  const auto events = TraceCollector::Global().Events();
+  ASSERT_FALSE(events.empty());
+  std::set<int> tids;
+  for (const auto& e : events) tids.insert(e.tid);
+  // Dense ids: every id seen across the process so far is a small
+  // non-negative integer bounded by pool size + observed threads, never a
+  // raw OS thread id.
+  const int bound =
+      ParallelRuntimeThreads() + static_cast<int>(tids.size()) + 4;
+  for (int tid : tids) {
+    EXPECT_GE(tid, 0);
+    EXPECT_LT(tid, bound);
+  }
+  // Well-nested per tid: spans sorted by (start asc, dur desc) behave
+  // like a bracket sequence — each next span either nests inside the
+  // enclosing open span or starts after it ends, never straddles.
+  std::map<int, std::vector<TraceCollector::Event>> by_tid;
+  for (const auto& e : events) by_tid[e.tid].push_back(e);
+  for (const auto& [tid, spans] : by_tid) {
+    std::vector<const TraceCollector::Event*> open;
+    for (const auto& e : spans) {
+      while (!open.empty() &&
+             e.start_us >= open.back()->start_us + open.back()->dur_us) {
+        open.pop_back();
+      }
+      if (!open.empty()) {
+        EXPECT_LE(e.start_us + e.dur_us,
+                  open.back()->start_us + open.back()->dur_us)
+            << "span " << e.name << " straddles " << open.back()->name
+            << " on tid " << tid;
+      }
+      open.push_back(&e);
+    }
+  }
 }
 
 TEST_F(TraceTest, ClearDropsEvents) {

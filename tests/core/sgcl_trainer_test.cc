@@ -4,8 +4,10 @@
 #include "core/sgcl_trainer.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
+#include "common/metrics.h"
 #include "data/synthetic_tu.h"
 #include "gtest/gtest.h"
 
@@ -132,6 +134,34 @@ TEST(SgclTrainerTest, CancellationStopsEarly) {
   ASSERT_TRUE(stats.ok());
   EXPECT_TRUE(stats->cancelled);
   EXPECT_LT(stats->epoch_losses.size(), 50u);
+}
+
+TEST(RecordEpochLossMetricsTest, NonfiniteLossIsCountedNotMasked) {
+  Gauge* loss_gauge =
+      MetricsRegistry::Global().GetGauge("train/last_epoch_loss");
+  Counter* nonfinite =
+      MetricsRegistry::Global().GetCounter("train/nonfinite_loss");
+  nonfinite->Reset();
+
+  RecordEpochLossMetrics(0.5f);
+  EXPECT_DOUBLE_EQ(loss_gauge->value(), 0.5);
+  EXPECT_EQ(nonfinite->value(), 0);
+
+  RecordEpochLossMetrics(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_EQ(nonfinite->value(), 1);
+  // The gauge carries the diverged value; JSON export turns it into null
+  // rather than a healthy-looking number.
+  EXPECT_TRUE(std::isnan(loss_gauge->value()));
+  EXPECT_EQ(JsonDouble(loss_gauge->value()), "null");
+
+  RecordEpochLossMetrics(std::numeric_limits<float>::infinity());
+  EXPECT_EQ(nonfinite->value(), 2);
+  EXPECT_EQ(JsonDouble(loss_gauge->value()), "null");
+
+  RecordEpochLossMetrics(0.25f);
+  EXPECT_EQ(nonfinite->value(), 2);  // finite losses don't count
+  EXPECT_DOUBLE_EQ(loss_gauge->value(), 0.25);
+  nonfinite->Reset();
 }
 
 TEST(SgclTrainerTest, RejectsTooFewGraphs) {

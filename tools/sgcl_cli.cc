@@ -18,17 +18,25 @@
 // Observability (pretrain/bench): --metrics-out streams one JSON object
 // per epoch (loss, wall seconds, per-stage seconds) plus a final line
 // embedding the full metrics-registry snapshot; --trace-out writes a
-// chrome://tracing / Perfetto-loadable span file for the whole run.
+// chrome://tracing / Perfetto-loadable span file for the whole run;
+// --log-json appends structured JSONL log records; --http-port serves
+// live /metrics /healthz /status /trace for the duration of the run.
+// Every sink and endpoint is stamped with one generated run id so the
+// exports of a run correlate. Sink paths are validated up front: an
+// unwritable --metrics-out/--trace-out/--log-json fails before any
+// training work starts.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/sgcl_trainer.h"
 #include "data/synthetic_tu.h"
@@ -109,17 +117,41 @@ struct ModelFlags {
   }
 };
 
-// --metrics-out / --trace-out wiring shared by pretrain and bench.
+// Observability wiring shared by pretrain and bench.
 struct ObservabilityFlags {
   std::string metrics_out;
   std::string trace_out;
+  std::string log_json;
+  int http_port = -1;
 
   void Register(FlagSet* flags) {
     flags->String("metrics-out", &metrics_out,
-                  "write per-epoch metrics as JSONL to this path");
+                  "write per-epoch metrics as JSONL to this path "
+                  "(truncates an existing file)");
     flags->String("trace-out", &trace_out,
-                  "write a chrome://tracing span file to this path");
+                  "write a chrome://tracing span file to this path "
+                  "(truncates an existing file)");
+    flags->String("log-json", &log_json,
+                  "append structured JSONL log records to this path "
+                  "(appends across runs; correlate by run_id; also lowers "
+                  "the log level to info)");
+    flags->Int("http-port", &http_port,
+               "serve live telemetry on 127.0.0.1:<port> for the duration "
+               "of the run (/metrics /healthz /status /trace); 0 picks an "
+               "ephemeral port, -1 disables");
   }
+};
+
+// Detaches (but does not own) a log sink on scope exit, covering every
+// early-return path out of ObservedPretrain.
+struct LogSinkGuard {
+  explicit LogSinkGuard(LogSink* sink) : sink(sink) {
+    if (sink != nullptr) AddLogSink(sink);
+  }
+  ~LogSinkGuard() {
+    if (sink != nullptr) RemoveLogSink(sink);
+  }
+  LogSink* sink;
 };
 
 std::string EpochReportJson(const EpochReport& r) {
@@ -142,26 +174,65 @@ std::string EpochReportJson(const EpochReport& r) {
   return json;
 }
 
-// Runs Pretrain with the observability sinks attached; collects per-epoch
-// reports for callers that post-process them (bench's table).
+// Runs Pretrain with the observability sinks and (optionally) the live
+// telemetry endpoint attached; collects per-epoch reports for callers
+// that post-process them (bench's table). `command` labels the run in
+// /status and log records.
 Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
                                        const GraphDataset& dataset,
                                        const ObservabilityFlags& obs,
+                                       const char* command, int total_epochs,
                                        std::vector<EpochReport>* reports) {
+  SetRunId(GenerateRunId());
+  // Fail fast: every sink path is validated here, before training starts,
+  // so a typo'd directory is a clean error instead of lost work at the
+  // final write.
   std::ofstream metrics_stream;
   if (!obs.metrics_out.empty()) {
     metrics_stream.open(obs.metrics_out, std::ios::trunc);
     if (!metrics_stream) {
-      return Status::Internal("cannot open --metrics-out file " +
-                             obs.metrics_out);
+      return Status::InvalidArgument("cannot open --metrics-out file " +
+                                     obs.metrics_out);
     }
   }
-  TraceCollector& collector = TraceCollector::Global();
   if (!obs.trace_out.empty()) {
+    // Probe in append mode: proves writability without clobbering the
+    // previous trace if this run dies before the final (truncating) write.
+    std::ofstream probe(obs.trace_out, std::ios::app);
+    if (!probe) {
+      return Status::InvalidArgument("cannot open --trace-out file " +
+                                     obs.trace_out);
+    }
+  }
+  std::unique_ptr<JsonlLogSink> log_sink;
+  if (!obs.log_json.empty()) {
+    SGCL_ASSIGN_OR_RETURN(log_sink, JsonlLogSink::Open(obs.log_json));
+    if (GetLogLevel() > LogLevel::kInfo) SetLogLevel(LogLevel::kInfo);
+  }
+  LogSinkGuard sink_guard(log_sink.get());
+
+  TraceCollector& collector = TraceCollector::Global();
+  // The /trace endpoint needs span collection on even without a file sink.
+  const bool tracing = !obs.trace_out.empty() || obs.http_port >= 0;
+  if (tracing) {
     collector.Clear();
     collector.Enable(true);
   }
   MetricsRegistry::Global().Reset();  // per-run isolation
+
+  RunStatusBoard board;
+  TelemetryServer server;
+  if (obs.http_port >= 0) {
+    SGCL_RETURN_NOT_OK(server.Start(obs.http_port, &board));
+    // The smoke scripts parse this line to find an ephemeral port.
+    std::printf("telemetry: http://127.0.0.1:%d run_id %s\n", server.port(),
+                GetRunId().c_str());
+    std::fflush(stdout);
+  }
+  board.BeginRun(command, total_epochs);
+  SGCL_LOG(INFO) << command << " started: run " << GetRunId() << ", "
+                 << dataset.size() << " graphs, " << total_epochs
+                 << " epochs";
 
   PretrainOptions options;
   options.on_epoch_end = [&](const EpochReport& report) {
@@ -169,12 +240,22 @@ Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
     if (metrics_stream.is_open()) {
       metrics_stream << EpochReportJson(report) << "\n";
     }
+    board.RecordEpoch(report.epoch, report.total_epochs, report.mean_loss,
+                      report.seconds, report.stage_seconds);
+    SGCL_LOG(INFO) << command << " epoch " << report.epoch + 1 << "/"
+                   << report.total_epochs << " loss " << report.mean_loss;
     std::printf("epoch %d/%d: loss %.4f (%.2fs)\n", report.epoch + 1,
                 report.total_epochs, report.mean_loss, report.seconds);
+    std::fflush(stdout);
   };
   Result<PretrainStats> stats = trainer->Pretrain(dataset, {}, options);
-  if (!obs.trace_out.empty()) {
+  board.EndRun(stats.ok());
+  SGCL_LOG(INFO) << command << " finished: run " << GetRunId()
+                 << (stats.ok() ? " ok" : " failed");
+  if (tracing) {
     collector.Enable(false);
+  }
+  if (!obs.trace_out.empty()) {
     Status st = collector.WriteChromeTrace(obs.trace_out);
     if (!st.ok()) return st;
     std::printf("wrote %s (%zu spans)\n", obs.trace_out.c_str(),
@@ -183,7 +264,8 @@ Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
   if (metrics_stream.is_open()) {
     // Final record: whole-run totals plus the full registry snapshot.
     const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
-    std::string tail = "{\"final\":true";
+    std::string tail = "{\"final\":true,\"run_id\":\"" +
+                       JsonEscape(GetRunId()) + "\"";
     if (stats.ok()) {
       tail += ",\"total_seconds\":" + JsonDouble(stats->total_seconds) +
               ",\"total_batches\":" + std::to_string(stats->total_batches);
@@ -196,6 +278,7 @@ Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
     }
     std::printf("wrote %s\n", obs.metrics_out.c_str());
   }
+  server.Stop();
   return stats;
 }
 
@@ -268,7 +351,8 @@ int CmdPretrain(int argc, char** argv) {
   auto cfg = model_flags.ToConfig(ds->feat_dim());
   if (!cfg.ok()) return Fail(cfg.status());
   SgclTrainer trainer(*cfg, seed);
-  auto stats = ObservedPretrain(&trainer, *ds, obs, nullptr);
+  auto stats =
+      ObservedPretrain(&trainer, *ds, obs, "pretrain", cfg->epochs, nullptr);
   if (!stats.ok()) return Fail(stats.status());
   std::printf("pretrained %d epochs: loss %.4f -> %.4f\n", cfg->epochs,
               stats->epoch_losses.front(), stats->epoch_losses.back());
@@ -390,7 +474,8 @@ int CmdBench(int argc, char** argv) {
   if (!cfg.ok()) return Fail(cfg.status());
   SgclTrainer trainer(*cfg, seed);
   std::vector<EpochReport> reports;
-  auto stats = ObservedPretrain(&trainer, ds, obs, &reports);
+  auto stats =
+      ObservedPretrain(&trainer, ds, obs, "bench", cfg->epochs, &reports);
   if (!stats.ok()) return Fail(stats.status());
 
   // Per-stage wall time, mean ± std across epochs, plus the run total.
