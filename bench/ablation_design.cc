@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
     // Score agreement on a trained model.
     SgclConfig cfg = ScaledSgclConfig(mutag.feat_dim(), scale);
     SgclTrainer trainer(cfg, 1);
-    trainer.Pretrain(mutag);
+    const auto pretrain = trainer.Pretrain(mutag);
+    SGCL_CHECK(pretrain.ok());
     LipschitzGenerator exact(&trainer.model().encoder_q(),
                              LipschitzMode::kExact);
     LipschitzGenerator approx(&trainer.model().encoder_q(),

@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
         SgclConfig cfg = ScaledSgclConfig(kMoleculeFeatDim, scale);
         sweep.apply(&cfg, v);
         SgclTrainer trainer(cfg, seed);
-        trainer.Pretrain(zinc);
+        const auto pretrain = trainer.Pretrain(zinc);
+        SGCL_CHECK(pretrain.ok());
         Rng rng(seed + 9);
         GnnEncoder encoder(trainer.model().encoder_k().config(), &rng);
         encoder.CopyParametersFrom(trainer.model().encoder_k());

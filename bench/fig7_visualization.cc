@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
   sgcl_cfg.lipschitz_mode = LipschitzMode::kExact;
   sgcl_cfg.generator_loss_weight = 0.0f;
   SgclTrainer sgcl(sgcl_cfg, /*seed=*/3);
-  sgcl.Pretrain(digits);
+  const auto pretrain = sgcl.Pretrain(digits);
+  SGCL_CHECK(pretrain.ok());
 
   BaselineConfig rgcl_cfg = ScaledBaselineConfig(digits.feat_dim(), scale, 3);
   rgcl_cfg.epochs = sgcl_cfg.epochs;

@@ -73,7 +73,8 @@ int main(int argc, char** argv) {
       const uint64_t seed = 2000ULL * (s + 1);
       SgclTrainer trainer(VariantConfig(variant, kMoleculeFeatDim, scale),
                           seed);
-      trainer.Pretrain(zinc);
+      const auto pretrain = trainer.Pretrain(zinc);
+      SGCL_CHECK(pretrain.ok());
       const GnnEncoder& pretrained = trainer.model().encoder_k();
       for (size_t t = 0; t < tasks.size(); ++t) {
         Rng rng(seed + 31 * t);

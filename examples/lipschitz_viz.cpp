@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
   config.epochs = 6;
   config.batch_size = 16;
   SgclTrainer trainer(config, seed);
-  trainer.Pretrain(digits);
+  const auto pretrain = trainer.Pretrain(digits);
+  SGCL_CHECK(pretrain.ok());
 
   // Pick the first sample of the requested digit.
   const Graph* g = nullptr;

@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   // (a) SGCL-pretrained encoder.
   Stopwatch watch;
   SgclTrainer trainer(config, seed);
-  trainer.Pretrain(zinc);
+  const auto pretrain = trainer.Pretrain(zinc);
+  SGCL_CHECK(pretrain.ok());
   std::printf("SGCL pretraining took %.1fs\n", watch.ElapsedSeconds());
   Rng rng_a(seed + 2);
   const double auc_pretrained = FinetuneAndEvalRocAuc(

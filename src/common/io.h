@@ -18,7 +18,7 @@ class BinaryWriter {
   // Opens `path` for writing; check ok() before use.
   explicit BinaryWriter(const std::string& path);
 
-  bool ok() const { return static_cast<bool>(out_); }
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
 
   void WriteU32(uint32_t v);
   void WriteI64(int64_t v);
@@ -40,9 +40,9 @@ class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
 
-  bool ok() const { return ok_; }
+  [[nodiscard]] bool ok() const { return ok_; }
   // True once a read ran past the end of the file (ok() turns false too).
-  bool eof() const { return eof_; }
+  [[nodiscard]] bool eof() const { return eof_; }
 
   uint32_t ReadU32();
   int64_t ReadI64();

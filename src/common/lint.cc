@@ -1,0 +1,682 @@
+#include "common/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"  // JsonEscape
+#include "common/string_util.h"
+
+namespace sgcl::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// True when s[pos..] starts an occurrence of `ident` as a whole token.
+bool TokenAt(const std::string& s, size_t pos, const std::string& ident) {
+  if (s.compare(pos, ident.size(), ident) != 0) return false;
+  if (pos > 0 && IsIdentChar(s[pos - 1])) return false;
+  const size_t end = pos + ident.size();
+  return end >= s.size() || !IsIdentChar(s[end]);
+}
+
+size_t SkipSpaces(const std::string& s, size_t pos) {
+  while (pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+// Splits `content` into lines and blanks out comments, string literals
+// (including raw strings), and char literals, preserving line structure
+// and length so column-free line reporting stays accurate. `raw` gets
+// the untouched lines (NOLINT directives live inside comments).
+void ScrubLines(const std::string& content, std::vector<std::string>* raw,
+                std::vector<std::string>* scrubbed) {
+  raw->clear();
+  scrubbed->clear();
+  std::vector<std::string> lines;
+  {
+    std::string cur;
+    for (char c : content) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    lines.push_back(cur);
+  }
+
+  enum class State { kCode, kBlockComment, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the )delim" terminator
+  for (const std::string& line : lines) {
+    raw->push_back(line);
+    std::string out = line;
+    size_t i = 0;
+    while (i < out.size()) {
+      if (state == State::kBlockComment) {
+        const size_t close = out.find("*/", i);
+        const size_t stop = close == std::string::npos ? out.size() : close;
+        for (size_t j = i; j < stop; ++j) out[j] = ' ';
+        if (close == std::string::npos) {
+          i = out.size();
+        } else {
+          out[close] = out[close + 1] = ' ';
+          i = close + 2;
+          state = State::kCode;
+        }
+        continue;
+      }
+      if (state == State::kRawString) {
+        const size_t close = out.find(raw_delim, i);
+        const size_t stop =
+            close == std::string::npos ? out.size() : close + raw_delim.size();
+        for (size_t j = i; j < stop; ++j) out[j] = ' ';
+        if (close == std::string::npos) {
+          i = out.size();
+        } else {
+          i = close + raw_delim.size();
+          state = State::kCode;
+        }
+        continue;
+      }
+      const char c = out[i];
+      if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+        for (size_t j = i; j < out.size(); ++j) out[j] = ' ';
+        break;
+      }
+      if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
+        out[i] = out[i + 1] = ' ';
+        i += 2;
+        state = State::kBlockComment;
+        continue;
+      }
+      if (c == 'R' && i + 1 < out.size() && out[i + 1] == '"' &&
+          (i == 0 || !IsIdentChar(out[i - 1]))) {
+        const size_t open = out.find('(', i + 2);
+        if (open != std::string::npos) {
+          // Built character-wise: GCC 12's -Wrestrict misfires on
+          // std::string concatenation/append here (PR105329).
+          raw_delim.clear();
+          raw_delim += ')';
+          for (size_t j = i + 2; j < open; ++j) raw_delim += out[j];
+          raw_delim += '"';
+          for (size_t j = i; j <= open; ++j) out[j] = ' ';
+          i = open + 1;
+          state = State::kRawString;
+          continue;
+        }
+      }
+      if (c == '\'' && i > 0 && IsIdentChar(out[i - 1])) {
+        ++i;  // digit separator (1'000'000), not a char literal
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        size_t j = i + 1;
+        while (j < out.size()) {
+          if (out[j] == '\\') {
+            j += 2;
+            continue;
+          }
+          if (out[j] == quote) break;
+          ++j;
+        }
+        const size_t stop = std::min(j, out.size() - 1);
+        for (size_t k = i; k <= stop; ++k) out[k] = ' ';
+        i = stop + 1;
+        continue;
+      }
+      ++i;
+    }
+    scrubbed->push_back(out);
+  }
+}
+
+// Per-line suppression parsed from NOLINT / NOLINTNEXTLINE comments.
+// An empty set means "no suppression"; the sentinel "*" means all rules.
+std::vector<std::set<std::string>> ParseSuppressions(
+    const std::vector<std::string>& raw) {
+  std::vector<std::set<std::string>> out(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const std::string& line = raw[i];
+    size_t pos = 0;
+    while ((pos = line.find("NOLINT", pos)) != std::string::npos) {
+      const bool nextline =
+          line.compare(pos, std::string("NOLINTNEXTLINE").size(),
+                       "NOLINTNEXTLINE") == 0;
+      size_t after = pos + (nextline ? 14 : 6);
+      std::set<std::string>* target = nullptr;
+      if (nextline) {
+        if (i + 1 < raw.size()) target = &out[i + 1];
+      } else {
+        target = &out[i];
+      }
+      if (target != nullptr) {
+        if (after < line.size() && line[after] == '(') {
+          const size_t close = line.find(')', after);
+          const std::string cats =
+              close == std::string::npos
+                  ? line.substr(after + 1)
+                  : line.substr(after + 1, close - after - 1);
+          for (const std::string& cat : StrSplit(cats, ',')) {
+            const std::string c = Trim(cat);
+            if (c.rfind("sgcl-", 0) == 0) target->insert(c);
+          }
+        } else {
+          target->insert("*");  // bare NOLINT: everything
+        }
+      }
+      pos = after;
+    }
+  }
+  return out;
+}
+
+// ---- sgcl-R1 helpers -------------------------------------------------
+
+// Collects names of functions declared to return Status or Result<...>
+// on this (scrubbed) line.
+void CollectFallibleNames(const std::string& line,
+                          std::set<std::string>* names) {
+  for (size_t i = 0; i < line.size(); ++i) {
+    size_t after = std::string::npos;
+    if (TokenAt(line, i, "Status")) {
+      after = i + 6;
+    } else if (TokenAt(line, i, "Result")) {
+      size_t j = SkipSpaces(line, i + 6);
+      if (j >= line.size() || line[j] != '<') continue;
+      int depth = 0;
+      while (j < line.size()) {
+        if (line[j] == '<') ++depth;
+        if (line[j] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++j;
+      }
+      if (j >= line.size()) continue;  // template args span lines: skip
+      after = j + 1;
+    }
+    if (after == std::string::npos) continue;
+    size_t j = SkipSpaces(line, after);
+    if (j >= line.size() || !IsIdentStart(line[j])) continue;
+    const size_t name_begin = j;
+    while (j < line.size() && IsIdentChar(line[j])) ++j;
+    const std::string name = line.substr(name_begin, j - name_begin);
+    j = SkipSpaces(line, j);
+    if (j < line.size() && line[j] == '(') names->insert(name);
+    i = j;
+  }
+}
+
+bool IsMacroName(const std::string& name) {
+  for (char c : name) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+const char* const kStatementKeywords[] = {
+    "return",   "if",     "while",  "for",       "switch", "case",
+    "delete",   "new",    "using",  "namespace", "class",  "struct",
+    "enum",     "throw",  "goto",   "else",      "do",     "break",
+    "continue", "public", "private", "protected", "template", "typedef",
+    "co_return", "static_assert", "sizeof",
+};
+
+// If `trimmed` is a bare expression-statement call `a.b.c(...);`,
+// returns the final callee identifier; otherwise "".
+std::string BareCallCallee(const std::string& trimmed) {
+  if (trimmed.empty() || trimmed.back() != ';') return "";
+  if (trimmed.find('=') != std::string::npos) return "";
+  for (const char* kw : kStatementKeywords) {
+    if (TokenAt(trimmed, 0, kw)) return "";
+  }
+  size_t i = 0;
+  std::string last;
+  for (;;) {
+    if (i >= trimmed.size() || !IsIdentStart(trimmed[i])) return "";
+    const size_t begin = i;
+    while (i < trimmed.size() && IsIdentChar(trimmed[i])) ++i;
+    last = trimmed.substr(begin, i - begin);
+    if (i + 1 < trimmed.size() && trimmed[i] == ':' && trimmed[i + 1] == ':') {
+      i += 2;
+      continue;
+    }
+    if (i < trimmed.size() && trimmed[i] == '.') {
+      i += 1;
+      continue;
+    }
+    if (i + 1 < trimmed.size() && trimmed[i] == '-' && trimmed[i + 1] == '>') {
+      i += 2;
+      continue;
+    }
+    break;
+  }
+  if (i >= trimmed.size() || trimmed[i] != '(') return "";
+  // The statement must be nothing but this call: `callee(...);`.
+  if (trimmed.rfind(");") != trimmed.size() - 2) return "";
+  return last;
+}
+
+// ---- sgcl-R3 helpers -------------------------------------------------
+
+const char* const kCheckMacros[] = {
+    "SGCL_CHECK_EQ", "SGCL_CHECK_NE", "SGCL_CHECK_LT", "SGCL_CHECK_LE",
+    "SGCL_CHECK_GT", "SGCL_CHECK_GE", "SGCL_CHECK_OP", "SGCL_CHECK",
+    "SGCL_DCHECK",   "assert",
+};
+
+const char* const kMutatingMethods[] = {
+    "push_back", "pop_back", "emplace_back", "emplace", "insert",
+    "erase",     "clear",    "reset",        "resize",  "pop",
+    "push",      "assign",   "append",       "Increment", "Observe",
+    "Submit",    "Set",
+};
+
+// Scans a check-macro argument for side-effect constructs. Returns a
+// description of the first one found, or "".
+std::string FindSideEffect(const std::string& arg) {
+  for (size_t i = 0; i + 1 < arg.size(); ++i) {
+    if ((arg[i] == '+' && arg[i + 1] == '+') ||
+        (arg[i] == '-' && arg[i + 1] == '-')) {
+      return "increment/decrement";
+    }
+  }
+  for (size_t i = 0; i < arg.size(); ++i) {
+    if (arg[i] != '=') continue;
+    if (i + 1 < arg.size() && arg[i + 1] == '=') continue;  // ==
+    const char prev = i > 0 ? arg[i - 1] : '\0';
+    if (prev == '=' || prev == '!') continue;  // ==, !=
+    if (prev == '<' || prev == '>') {
+      // <= / >= are comparisons, <<= / >>= are assignments.
+      const char prev2 = i > 1 ? arg[i - 2] : '\0';
+      if (prev2 != prev) continue;
+      return "compound assignment";
+    }
+    if (prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+        prev == '%' || prev == '&' || prev == '|' || prev == '^') {
+      return "compound assignment";
+    }
+    return "assignment";
+  }
+  for (const char* method : kMutatingMethods) {
+    const std::string dot = std::string(".") + method + "(";
+    const std::string arrow = std::string("->") + method + "(";
+    if (arg.find(dot) != std::string::npos ||
+        arg.find(arrow) != std::string::npos) {
+      return StrFormat("call to mutating method '%s'", method);
+    }
+  }
+  return "";
+}
+
+std::string RuleMessageR2(const std::string& what) {
+  return StrFormat(
+      "%s breaks bitwise determinism; use common/rng (seeded PRNG) or add "
+      "an allowlist entry for legitimate wall-clock use",
+      what.c_str());
+}
+
+}  // namespace
+
+const char* SeverityToString(Severity severity) {
+  return severity == Severity::kWarning ? "warning" : "error";
+}
+
+Result<LintOptions> LoadAllowlist(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("allowlist: cannot open %s",
+                                      path.c_str()));
+  }
+  LintOptions options;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string entry = line;
+    const size_t hash = line.find('#');
+    std::string reason;
+    if (hash != std::string::npos) {
+      entry = line.substr(0, hash);
+      reason = Trim(line.substr(hash + 1));
+    }
+    entry = Trim(entry);
+    if (entry.empty()) continue;  // blank or pure comment line
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("allowlist %s:%d: expected '<path>:<rule>  # reason', "
+                    "got '%s'",
+                    path.c_str(), lineno, entry.c_str()));
+    }
+    const std::string file = Trim(entry.substr(0, colon));
+    const std::string rule = Trim(entry.substr(colon + 1));
+    const bool valid_rule =
+        rule == "*" || (rule.size() == 7 && rule.rfind("sgcl-R", 0) == 0 &&
+                        rule[6] >= '1' && rule[6] <= '5');
+    if (file.empty() || !valid_rule) {
+      return Status::InvalidArgument(
+          StrFormat("allowlist %s:%d: bad entry '%s' (rule must be "
+                    "sgcl-R1..sgcl-R5 or *)",
+                    path.c_str(), lineno, entry.c_str()));
+    }
+    if (reason.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("allowlist %s:%d: entry '%s' needs a '# reason' comment",
+                    path.c_str(), lineno, entry.c_str()));
+    }
+    options.allow.emplace_back(file, rule);
+  }
+  return options;
+}
+
+Linter::Linter(LintOptions options) : options_(std::move(options)) {}
+
+void Linter::AddFile(const std::string& path, const std::string& content) {
+  std::vector<std::string> raw, scrubbed;
+  ScrubLines(content, &raw, &scrubbed);
+  std::set<std::string> names(fallible_names_.begin(), fallible_names_.end());
+  for (const std::string& line : scrubbed) CollectFallibleNames(line, &names);
+  fallible_names_.assign(names.begin(), names.end());
+  files_.push_back({path, content});
+}
+
+bool Linter::Allowed(const std::string& path, const std::string& rule) const {
+  for (const auto& [file, allowed_rule] : options_.allow) {
+    if (file == path && (allowed_rule == "*" || allowed_rule == rule)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Linter::LintFile(const FileEntry& file, std::vector<Finding>* out) const {
+  std::vector<std::string> raw, scrubbed;
+  ScrubLines(file.content, &raw, &scrubbed);
+  const std::vector<std::set<std::string>> suppressed =
+      ParseSuppressions(raw);
+  const bool is_header =
+      file.path.size() > 2 &&
+      file.path.compare(file.path.size() - 2, 2, ".h") == 0;
+
+  const auto emit = [&](size_t line_idx, const char* rule, Severity severity,
+                        std::string message) {
+    if (Allowed(file.path, rule)) return;
+    const std::set<std::string>& sup = suppressed[line_idx];
+    if (sup.count("*") != 0 || sup.count(rule) != 0) return;
+    out->push_back({file.path, static_cast<int>(line_idx + 1), rule, severity,
+                    std::move(message)});
+  };
+
+  const std::set<std::string> fallible(fallible_names_.begin(),
+                                       fallible_names_.end());
+  const bool rng_impl = file.path.rfind("src/common/rng.", 0) == 0;
+
+  for (size_t li = 0; li < scrubbed.size(); ++li) {
+    const std::string& line = scrubbed[li];
+
+    // R1: discarded fallible call. Only statement-start lines count: a
+    // line continuing `x =` / `return` from above is part of that
+    // statement, not a discarded call.
+    bool statement_start = true;
+    for (size_t pj = li; pj > 0; --pj) {
+      const std::string prev = Trim(scrubbed[pj - 1]);
+      if (prev.empty()) continue;
+      statement_start = prev.back() == ';' || prev.back() == '{' ||
+                        prev.back() == '}' || prev.back() == ':' ||
+                        prev[0] == '#';
+      break;
+    }
+    const std::string trimmed = Trim(line);
+    const std::string callee =
+        statement_start ? BareCallCallee(trimmed) : std::string();
+    if (!callee.empty() && !IsMacroName(callee) &&
+        fallible.count(callee) != 0) {
+      emit(li, "sgcl-R1", Severity::kWarning,
+           StrFormat("result of fallible call '%s' is discarded; bind it, "
+                     "return it, or wrap it in a check macro",
+                     callee.c_str()));
+    }
+
+    // R2: nondeterminism sources.
+    if (!rng_impl) {
+      for (size_t i = 0; i < line.size(); ++i) {
+        if (TokenAt(line, i, "rand") || TokenAt(line, i, "srand")) {
+          const size_t len = line[i] == 's' ? 5 : 4;
+          if (SkipSpaces(line, i + len) < line.size() &&
+              line[SkipSpaces(line, i + len)] == '(') {
+            emit(li, "sgcl-R2", Severity::kError,
+                 RuleMessageR2(line[i] == 's' ? "srand()" : "rand()"));
+          }
+        } else if (TokenAt(line, i, "random_device")) {
+          emit(li, "sgcl-R2", Severity::kError,
+               RuleMessageR2("std::random_device"));
+        } else if (TokenAt(line, i, "system_clock")) {
+          emit(li, "sgcl-R2", Severity::kError,
+               RuleMessageR2("std::chrono::system_clock"));
+        } else if (TokenAt(line, i, "time")) {
+          size_t j = SkipSpaces(line, i + 4);
+          if (j < line.size() && line[j] == '(') {
+            j = SkipSpaces(line, j + 1);
+            if (TokenAt(line, j, "nullptr") || TokenAt(line, j, "NULL") ||
+                (j < line.size() && line[j] == '0')) {
+              emit(li, "sgcl-R2", Severity::kError,
+                   RuleMessageR2("time(nullptr)-style seeding"));
+            }
+          }
+        }
+      }
+    }
+
+    // R3: side effects inside check macros (argument may span lines).
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char* matched = nullptr;
+      for (const char* macro : kCheckMacros) {
+        if (TokenAt(line, i, macro)) {
+          matched = macro;
+          break;
+        }
+      }
+      if (matched == nullptr) continue;
+      // Skip the macro's own #define in check.h.
+      if (Trim(line).rfind("#define", 0) == 0) break;
+      size_t pos = i + std::string(matched).size();
+      std::string arg;
+      int depth = 0;
+      size_t lj = li;
+      bool done = false;
+      while (lj < scrubbed.size() && lj < li + 30 && !done) {
+        const std::string& cur = scrubbed[lj];
+        size_t start = lj == li ? pos : 0;
+        for (size_t k = start; k < cur.size(); ++k) {
+          if (cur[k] == '(') {
+            ++depth;
+            if (depth == 1) continue;
+          }
+          if (cur[k] == ')') {
+            --depth;
+            if (depth == 0) {
+              done = true;
+              break;
+            }
+          }
+          if (depth >= 1) arg += cur[k];
+        }
+        arg += ' ';
+        ++lj;
+      }
+      if (done) {
+        const std::string effect = FindSideEffect(arg);
+        if (!effect.empty()) {
+          emit(li, "sgcl-R3", Severity::kError,
+               StrFormat("%s inside %s: checks must be side-effect free "
+                         "(they compile out or abort)",
+                         effect.c_str(), matched));
+        }
+      }
+      i += std::string(matched).size() - 1;
+    }
+
+    // R4b: using namespace in headers.
+    if (is_header) {
+      for (size_t i = 0; i < line.size(); ++i) {
+        if (TokenAt(line, i, "using")) {
+          const size_t j = SkipSpaces(line, i + 5);
+          if (TokenAt(line, j, "namespace")) {
+            emit(li, "sgcl-R4", Severity::kError,
+                 "'using namespace' in a header leaks into every includer");
+          }
+        }
+      }
+    }
+
+    // R5: naked new / delete.
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (TokenAt(line, i, "new")) {
+        const size_t j = SkipSpaces(line, i + 3);
+        const bool allocates =
+            j < line.size() && (IsIdentStart(line[j]) || line[j] == '(');
+        // `operator new` declarations are not allocations.
+        const std::string before = Trim(line.substr(0, i));
+        const bool is_operator_decl =
+            before.size() >= 8 &&
+            before.compare(before.size() - 8, 8, "operator") == 0;
+        if (allocates && !is_operator_decl) {
+          emit(li, "sgcl-R5", Severity::kError,
+               "naked 'new': use make_unique/containers, or suppress for "
+               "intentionally leaked singletons");
+        }
+      } else if (TokenAt(line, i, "delete")) {
+        size_t j = SkipSpaces(line, i + 6);
+        if (j + 1 < line.size() && line[j] == '[' && line[j + 1] == ']') {
+          j = SkipSpaces(line, j + 2);
+        }
+        const bool deletes =
+            j < line.size() && (IsIdentStart(line[j]) || line[j] == '*' ||
+                                line[j] == '(');
+        const std::string before = Trim(line.substr(0, i));
+        const bool deleted_fn = !before.empty() && before.back() == '=';
+        if (deletes && !deleted_fn) {
+          emit(li, "sgcl-R5", Severity::kError,
+               "naked 'delete': owning pointers belong in unique_ptr");
+        }
+      }
+    }
+  }
+
+  // R4a: include-guard name must derive from the file path.
+  if (is_header) {
+    const std::string expected = ExpectedIncludeGuard(file.path);
+    size_t guard_line = std::string::npos;
+    std::string actual;
+    for (size_t li = 0; li < scrubbed.size(); ++li) {
+      const std::string t = Trim(scrubbed[li]);
+      if (t.rfind("#ifndef", 0) == 0) {
+        actual = Trim(t.substr(7));
+        guard_line = li;
+        break;
+      }
+    }
+    if (guard_line == std::string::npos) {
+      emit(0, "sgcl-R4", Severity::kError,
+           StrFormat("missing include guard (expected #ifndef %s)",
+                     expected.c_str()));
+    } else if (actual != expected) {
+      emit(guard_line, "sgcl-R4", Severity::kError,
+           StrFormat("include guard '%s' does not match path (expected %s)",
+                     actual.c_str(), expected.c_str()));
+    } else {
+      // The matching #define must follow.
+      bool defined = false;
+      for (size_t li = guard_line + 1; li < scrubbed.size(); ++li) {
+        const std::string t = Trim(scrubbed[li]);
+        if (t.rfind("#define", 0) == 0) {
+          defined = Trim(t.substr(7)) == expected;
+          break;
+        }
+      }
+      if (!defined) {
+        emit(guard_line, "sgcl-R4", Severity::kError,
+             StrFormat("#ifndef %s is not followed by a matching #define",
+                       expected.c_str()));
+      }
+    }
+  }
+}
+
+std::vector<Finding> Linter::Run() const {
+  std::vector<Finding> findings;
+  for (const FileEntry& file : files_) LintFile(file, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string ExpectedIncludeGuard(const std::string& path) {
+  std::string rel = path;
+  if (rel.rfind("src/", 0) == 0) rel = rel.substr(4);
+  std::string guard = "SGCL_";
+  for (char c : rel) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+std::string FormatText(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += StrFormat("%s:%d: %s: [%s] %s\n", f.file.c_str(), f.line,
+                     SeverityToString(f.severity), f.rule.c_str(),
+                     f.message.c_str());
+  }
+  return out;
+}
+
+std::string FormatJson(const std::vector<Finding>& findings) {
+  std::string out = StrFormat("{\"count\":%zu,\"findings\":[",
+                              findings.size());
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out += ',';
+    out += StrFormat(
+        "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"severity\":\"%s\","
+        "\"message\":\"%s\"}",
+        JsonEscape(f.file).c_str(), f.line, f.rule.c_str(),
+        SeverityToString(f.severity), JsonEscape(f.message).c_str());
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace sgcl::lint

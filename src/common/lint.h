@@ -1,0 +1,110 @@
+// sgcl_lint: in-repo static analyzer enforcing project invariants that
+// the compiler cannot (fully) check. Token/line-level heuristics, no
+// external dependencies — deliberately not a C++ parser (DESIGN.md §9).
+//
+// Rules:
+//   sgcl-R1  no discarded fallible call: a statement that calls a
+//            function known to return Status/Result<T> without binding,
+//            returning, or wrapping the value. Backstops [[nodiscard]]
+//            for call forms the compiler misses.
+//   sgcl-R2  determinism: bans rand()/srand(), std::random_device,
+//            time(nullptr)-style seeding, and std::chrono::system_clock
+//            outside src/common/rng.* (allowlist covers legitimate
+//            wall-clock timestamps in telemetry/logging).
+//   sgcl-R3  no side effects inside SGCL_CHECK*/SGCL_DCHECK/assert
+//            arguments (++/--, assignment, mutating-method heuristics):
+//            checks compile out or short-circuit, so effects inside them
+//            change behavior between build modes.
+//   sgcl-R4  header hygiene: include-guard name must be derived from the
+//            file path (src/common/lint.h -> SGCL_COMMON_LINT_H_), and
+//            no `using namespace` at namespace scope in headers.
+//   sgcl-R5  no naked new/delete outside the allowlist (intentionally
+//            leaked singletons carry inline NOLINT suppressions).
+//
+// Suppression: `// NOLINT(sgcl-R3)` on the offending line or
+// `// NOLINTNEXTLINE(sgcl-R3)` on the line above; a bare `// NOLINT`
+// suppresses every rule on that line. The allowlist file
+// (tools/sgcl_lint_allowlist.txt) grants whole-file exemptions per rule
+// with a recorded reason.
+#ifndef SGCL_COMMON_LINT_H_
+#define SGCL_COMMON_LINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sgcl::lint {
+
+enum class Severity { kWarning, kError };
+
+const char* SeverityToString(Severity severity);
+
+struct Finding {
+  std::string file;  // repo-relative path as given to AddFile
+  int line = 0;      // 1-based
+  std::string rule;  // "sgcl-R1" .. "sgcl-R5"
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+struct LintOptions {
+  // Whole-file exemptions: (repo-relative path, rule) pairs; rule "*"
+  // exempts the file from every rule.
+  std::vector<std::pair<std::string, std::string>> allow;
+};
+
+// Parses an allowlist file. Format, one entry per line:
+//   <repo-relative-path>:<rule>   # reason
+// Blank lines and lines starting with '#' are ignored. The reason
+// comment is mandatory so every exemption is documented.
+Result<LintOptions> LoadAllowlist(const std::string& path);
+
+// Two-phase analyzer: AddFile all sources first (phase 1 collects the
+// names of fallible Status/Result-returning functions for sgcl-R1),
+// then Run lints every added file. Findings are ordered by
+// (file, line, rule) regardless of insertion order.
+class Linter {
+ public:
+  explicit Linter(LintOptions options);
+
+  void AddFile(const std::string& path, const std::string& content);
+
+  std::vector<Finding> Run() const;
+
+  // Names collected for sgcl-R1 (exposed for tests).
+  const std::vector<std::string>& fallible_names() const {
+    return fallible_names_;
+  }
+
+ private:
+  struct FileEntry {
+    std::string path;
+    std::string content;
+  };
+
+  void LintFile(const FileEntry& file, std::vector<Finding>* out) const;
+  bool Allowed(const std::string& path, const std::string& rule) const;
+
+  LintOptions options_;
+  std::vector<FileEntry> files_;
+  std::vector<std::string> fallible_names_;  // sorted, unique
+};
+
+// One line per finding: "path:line: severity: [rule] message".
+std::string FormatText(const std::vector<Finding>& findings);
+
+// Deterministic JSON report: {"count":N,"findings":[...]} with findings
+// in the same (file, line, rule) order as FormatText. Parseable by
+// common/json (tests round-trip it).
+std::string FormatJson(const std::vector<Finding>& findings);
+
+// The include guard mandated for a header at `path` (repo-relative):
+// strip a leading "src/", prefix "SGCL_", uppercase, map non-alnum to
+// '_', append a trailing '_'.
+std::string ExpectedIncludeGuard(const std::string& path);
+
+}  // namespace sgcl::lint
+
+#endif  // SGCL_COMMON_LINT_H_

@@ -87,6 +87,7 @@ void MetricsRegistry::Reset() {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
+  // NOLINTNEXTLINE(sgcl-R5): intentionally leaked singleton
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }

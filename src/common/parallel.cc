@@ -1,12 +1,15 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <memory>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/metrics.h"
 
 namespace sgcl {
@@ -42,16 +45,23 @@ Histogram* QueueWaitHistogram() {
   return h;
 }
 
-int DefaultThreadCount() {
-  if (const char* env = std::getenv("SGCL_NUM_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0) {
-      return static_cast<int>(parsed);
-    }
-  }
+int HardwareThreadCount() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int DefaultThreadCount() {
+  const char* env = std::getenv("SGCL_NUM_THREADS");
+  if (env == nullptr) return HardwareThreadCount();
+  const Result<int> parsed = ParseThreadCount(env);
+  if (!parsed.ok()) {
+    const int fallback = HardwareThreadCount();
+    SGCL_LOG(WARNING) << "ignoring SGCL_NUM_THREADS=\"" << env
+                      << "\": " << parsed.status().message() << "; using "
+                      << fallback << " hardware thread(s)";
+    return fallback;
+  }
+  return *parsed;
 }
 
 std::mutex& GlobalPoolMutex() {
@@ -65,6 +75,25 @@ std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
 }
 
 }  // namespace
+
+Result<int> ParseThreadCount(const std::string& value) {
+  if (value.empty()) {
+    return Status::InvalidArgument("thread count is empty");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("thread count is not an integer");
+  }
+  if (errno == ERANGE || parsed > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument("thread count overflows int");
+  }
+  if (parsed <= 0) {
+    return Status::InvalidArgument("thread count must be positive");
+  }
+  return static_cast<int>(parsed);
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);

@@ -21,10 +21,20 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace sgcl {
+
+// Strictly parses a thread-count override (the SGCL_NUM_THREADS
+// environment variable). InvalidArgument on empty, non-numeric, or
+// trailing-garbage input, on zero/negative counts, and on values that
+// overflow int. The pool warns and falls back to the hardware default
+// instead of silently misconfiguring. Exposed for tests.
+Result<int> ParseThreadCount(const std::string& value);
 
 class ThreadPool {
  public:

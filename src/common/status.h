@@ -28,8 +28,11 @@ enum class StatusCode {
 // Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
 const char* StatusCodeToString(StatusCode code);
 
-// A cheap, copyable success-or-error value.
-class Status {
+// A cheap, copyable success-or-error value. [[nodiscard]] on the class
+// makes the compiler flag any call whose returned Status is silently
+// dropped — the core of the error model (lint rule sgcl-R1 backstops the
+// cases the compiler cannot see).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -58,8 +61,8 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   // "OK" or "<CodeName>: <message>".
@@ -73,7 +76,7 @@ class Status {
 // A value-or-error. Accessing the value of an errored Result is a fatal
 // programming error; callers must test ok() (or use ValueOrDie in tests).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
   // conversions so `return value;` and `return status;` both work.
@@ -83,8 +86,8 @@ class Result {
     SGCL_CHECK(!status_.ok());  // A Result built from a Status must be an error.
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     SGCL_CHECK(ok());

@@ -85,7 +85,10 @@ std::string RunStatusBoard::ToJson() const {
   for (const auto& [stage, secs] : stage_seconds_) {
     if (!first) json += ',';
     first = false;
-    json += "\"" + JsonEscape(stage) + "\":" + JsonDouble(secs);
+    // Appended piecewise: GCC 12's -Wrestrict misfires on chained
+    // std::string operator+ here (PR105329).
+    json.append("\"").append(JsonEscape(stage)).append("\":");
+    json.append(JsonDouble(secs));
   }
   json += "}}";
   return json;

@@ -80,6 +80,7 @@ int64_t TraceCollector::NowUs() const {
 int TraceCollector::CurrentThreadId() { return AssignThreadId(); }
 
 TraceCollector& TraceCollector::Global() {
+  // NOLINTNEXTLINE(sgcl-R5): intentionally leaked singleton
   static TraceCollector* collector = new TraceCollector();
   return *collector;
 }

@@ -85,6 +85,35 @@ TEST_F(BenchCompareTest, LoadRejectsNonBenchmarkJson) {
             StatusCode::kNotFound);
 }
 
+// Malformed and empty inputs must surface as InvalidArgument with a
+// message naming the file — never a crash or a silent empty diff.
+TEST_F(BenchCompareTest, LoadRejectsEmptyAndMalformedFiles) {
+  const std::string empty = Tmp("bench_empty.json");
+  { std::ofstream out(empty, std::ios::trunc); }
+  const auto empty_result = LoadBenchmarkJson(empty);
+  ASSERT_FALSE(empty_result.ok());
+  EXPECT_EQ(empty_result.status().code(), StatusCode::kInvalidArgument);
+
+  const std::string garbage = Tmp("bench_garbage.json");
+  {
+    std::ofstream out(garbage, std::ios::trunc);
+    out << "this is not json {]";
+  }
+  const auto garbage_result = LoadBenchmarkJson(garbage);
+  ASSERT_FALSE(garbage_result.ok());
+  EXPECT_EQ(garbage_result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BenchCompareTest, LoadRejectsEmptyBenchmarksArray) {
+  const std::string path = WriteBenchFile(Tmp("bench_noentries.json"), {});
+  const auto result = LoadBenchmarkJson(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("no comparable benchmark entries"),
+            std::string::npos);
+  EXPECT_NE(result.status().message().find(path), std::string::npos);
+}
+
 TEST_F(BenchCompareTest, IdenticalInputsShowNoRegression) {
   const std::string path = WriteBenchFile(
       Tmp("bench_same.json"),

@@ -1,0 +1,337 @@
+// Fixture tests for the sgcl_lint rule engine (common/lint.h): every
+// rule has at least one snippet where it fires and one where it must
+// not, so rules are regression-tested like any other subsystem.
+#include "common/lint.h"
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "gtest/gtest.h"
+
+namespace sgcl::lint {
+namespace {
+
+std::vector<Finding> LintSnippet(const std::string& path,
+                                 const std::string& content,
+                                 LintOptions options = {}) {
+  Linter linter(std::move(options));
+  linter.AddFile(path, content);
+  return linter.Run();
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+// ---- sgcl-R1: discarded fallible call --------------------------------
+
+constexpr char kR1Fires[] = R"(
+Status Flush(int fd);
+void Caller() {
+  Flush(3);
+}
+)";
+
+constexpr char kR1Clean[] = R"(
+Status Flush(int fd);
+Result<int> Read(int fd);
+Status Caller() {
+  Status st = Flush(3);
+  if (!st.ok()) return st;
+  SGCL_RETURN_NOT_OK(Flush(4));
+  SGCL_ASSIGN_OR_RETURN(int n, Read(3));
+  return Flush(n);
+}
+)";
+
+TEST(LintR1Test, FiresOnDiscardedFallibleCall) {
+  const auto findings = LintSnippet("src/common/a.cc", kR1Fires);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "sgcl-R1");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_EQ(findings[0].severity, Severity::kWarning);
+  EXPECT_NE(findings[0].message.find("Flush"), std::string::npos);
+}
+
+TEST(LintR1Test, SilentOnBoundReturnedOrWrappedCalls) {
+  EXPECT_TRUE(LintSnippet("src/common/a.cc", kR1Clean).empty());
+}
+
+TEST(LintR1Test, CollectsNamesAcrossFiles) {
+  // Declaration in one file, discarded call in another.
+  Linter linter({});
+  linter.AddFile("src/common/api.cc", "Status Sync();\n");
+  linter.AddFile("src/core/use.cc", "void F() {\n  Sync();\n}\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/core/use.cc");
+  EXPECT_EQ(findings[0].rule, "sgcl-R1");
+}
+
+TEST(LintR1Test, SilentOnContinuationLines) {
+  // The call is the right-hand side of an assignment started above.
+  constexpr char kSnippet[] = R"(
+Status Flush(int fd);
+void Caller() {
+  const Status st =
+      Flush(3);
+  (void)st.ok();
+}
+)";
+  EXPECT_TRUE(LintSnippet("src/common/a.cc", kSnippet).empty());
+}
+
+// ---- sgcl-R2: determinism --------------------------------------------
+
+constexpr char kR2Fires[] = R"(
+void Seeds() {
+  int a = rand();
+  srand(42);
+  std::random_device rd;
+  uint64_t s = static_cast<uint64_t>(time(nullptr));
+  auto t = std::chrono::system_clock::now();
+}
+)";
+
+constexpr char kR2Clean[] = R"(
+void Seeds() {
+  Rng rng(42);
+  auto t0 = std::chrono::steady_clock::now();
+  int grand_total = my_rand(7);  // identifiers merely containing 'rand'
+  double time_delta = time_offset(3);
+}
+)";
+
+TEST(LintR2Test, FiresOnEveryNondeterminismSource) {
+  const auto findings = LintSnippet("src/core/b.cc", kR2Fires);
+  ASSERT_EQ(findings.size(), 5u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "sgcl-R2");
+    EXPECT_EQ(f.severity, Severity::kError);
+  }
+}
+
+TEST(LintR2Test, SilentOnSeededRngAndSteadyClock) {
+  EXPECT_TRUE(LintSnippet("src/core/b.cc", kR2Clean).empty());
+}
+
+TEST(LintR2Test, RngImplementationIsExemptByPath) {
+  EXPECT_TRUE(LintSnippet("src/common/rng.cc", kR2Fires).empty());
+}
+
+TEST(LintR2Test, CommentsAndStringsDoNotFire) {
+  constexpr char kSnippet[] =
+      "// rand() in a comment\n"
+      "const char* s = \"std::random_device\";\n"
+      "/* time(nullptr) */\n";
+  EXPECT_TRUE(LintSnippet("src/core/b.cc", kSnippet).empty());
+}
+
+// ---- sgcl-R3: side effects in checks ---------------------------------
+
+constexpr char kR3Fires[] = R"(
+void F(std::vector<int>* v, int i) {
+  SGCL_CHECK(i++ < 3);
+  SGCL_CHECK_EQ(i += 1, 2);
+  SGCL_DCHECK(v->empty() || (i = 0));
+  assert(v->size() > 0 && v->pop_back());
+}
+)";
+
+constexpr char kR3Clean[] = R"(
+void F(const std::vector<int>& v, int i) {
+  SGCL_CHECK(i < 3);
+  SGCL_CHECK_EQ(v.size(), 2u);
+  SGCL_CHECK_GE(i, -1);
+  SGCL_DCHECK(v.empty() == false);
+  assert(i <= 3 && i >= 0);
+  SGCL_CHECK(2 >= 1);
+}
+)";
+
+TEST(LintR3Test, FiresOnSideEffectsInsideChecks) {
+  const auto findings = LintSnippet("src/core/c.cc", kR3Fires);
+  ASSERT_EQ(findings.size(), 4u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "sgcl-R3");
+  EXPECT_NE(findings[0].message.find("increment"), std::string::npos);
+  EXPECT_NE(findings[3].message.find("pop_back"), std::string::npos);
+}
+
+TEST(LintR3Test, SilentOnPureComparisons) {
+  EXPECT_TRUE(LintSnippet("src/core/c.cc", kR3Clean).empty());
+}
+
+TEST(LintR3Test, HandlesMultiLineArguments) {
+  constexpr char kSnippet[] = R"(
+void F(int i) {
+  SGCL_CHECK(i <
+             (i = 7));
+}
+)";
+  const auto findings = LintSnippet("src/core/c.cc", kSnippet);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "sgcl-R3");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+// ---- sgcl-R4: header hygiene -----------------------------------------
+
+TEST(LintR4Test, ExpectedGuardDerivesFromPath) {
+  EXPECT_EQ(ExpectedIncludeGuard("src/common/lint.h"),
+            "SGCL_COMMON_LINT_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("tests/test_util.h"),
+            "SGCL_TESTS_TEST_UTIL_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("src/nn/gat_conv.h"),
+            "SGCL_NN_GAT_CONV_H_");
+}
+
+TEST(LintR4Test, FiresOnWrongGuardName) {
+  const auto findings = LintSnippet(
+      "src/common/d.h", "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "sgcl-R4");
+  EXPECT_NE(findings[0].message.find("SGCL_COMMON_D_H_"), std::string::npos);
+}
+
+TEST(LintR4Test, FiresOnMissingGuardAndMismatchedDefine) {
+  EXPECT_EQ(Rules(LintSnippet("src/common/d.h", "int x;\n")),
+            std::vector<std::string>{"sgcl-R4"});
+  const auto findings = LintSnippet(
+      "src/common/d.h",
+      "#ifndef SGCL_COMMON_D_H_\n#define OTHER_H_\n#endif\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("matching #define"), std::string::npos);
+}
+
+TEST(LintR4Test, FiresOnUsingNamespaceInHeader) {
+  const auto findings = LintSnippet(
+      "src/common/d.h",
+      "#ifndef SGCL_COMMON_D_H_\n#define SGCL_COMMON_D_H_\n"
+      "using namespace std;\n#endif\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "sgcl-R4");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintR4Test, SilentOnConformingHeaderAndOnSourceFiles) {
+  EXPECT_TRUE(LintSnippet("src/common/d.h",
+                          "#ifndef SGCL_COMMON_D_H_\n"
+                          "#define SGCL_COMMON_D_H_\n#endif\n")
+                  .empty());
+  // .cc files are exempt from R4 entirely.
+  EXPECT_TRUE(
+      LintSnippet("src/common/d.cc", "using namespace std;\n").empty());
+}
+
+// ---- sgcl-R5: naked new/delete ---------------------------------------
+
+constexpr char kR5Fires[] = R"(
+void F() {
+  int* p = new int(3);
+  delete p;
+  auto* a = new int[4];
+  delete[] a;
+}
+)";
+
+constexpr char kR5Clean[] = R"(
+struct T {
+  T(const T&) = delete;
+  T& operator=(const T&) = delete;
+};
+void F() {
+  auto p = std::make_unique<int>(3);
+  std::vector<int> v(4);
+}
+)";
+
+TEST(LintR5Test, FiresOnNakedNewAndDelete) {
+  const auto findings = LintSnippet("src/core/e.cc", kR5Fires);
+  ASSERT_EQ(findings.size(), 4u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "sgcl-R5");
+}
+
+TEST(LintR5Test, SilentOnDeletedFunctionsAndSmartPointers) {
+  EXPECT_TRUE(LintSnippet("src/core/e.cc", kR5Clean).empty());
+}
+
+// ---- suppression and allowlist ---------------------------------------
+
+TEST(LintSuppressionTest, InlineNolintSilencesNamedRule) {
+  constexpr char kSnippet[] =
+      "void F() {\n"
+      "  int* p = new int(3);  // NOLINT(sgcl-R5): pool-owned\n"
+      "}\n";
+  EXPECT_TRUE(LintSnippet("src/core/f.cc", kSnippet).empty());
+}
+
+TEST(LintSuppressionTest, NolintNextLineAndBareNolint) {
+  constexpr char kNextLine[] =
+      "void F() {\n"
+      "  // NOLINTNEXTLINE(sgcl-R5)\n"
+      "  int* p = new int(3);\n"
+      "}\n";
+  EXPECT_TRUE(LintSnippet("src/core/f.cc", kNextLine).empty());
+  constexpr char kBare[] =
+      "void F() {\n"
+      "  int* p = new int(3);  // NOLINT\n"
+      "}\n";
+  EXPECT_TRUE(LintSnippet("src/core/f.cc", kBare).empty());
+}
+
+TEST(LintSuppressionTest, NolintForOtherRuleDoesNotSuppress) {
+  constexpr char kSnippet[] =
+      "void F() {\n"
+      "  int* p = new int(3);  // NOLINT(sgcl-R2)\n"
+      "}\n";
+  EXPECT_EQ(Rules(LintSnippet("src/core/f.cc", kSnippet)),
+            std::vector<std::string>{"sgcl-R5"});
+}
+
+TEST(LintAllowlistTest, FileRulePairExemptsOnlyThatFile) {
+  LintOptions options;
+  options.allow.emplace_back("src/core/g.cc", "sgcl-R5");
+  constexpr char kSnippet[] = "void F() { int* p = new int(3); }\n";
+  EXPECT_TRUE(LintSnippet("src/core/g.cc", kSnippet, options).empty());
+  EXPECT_EQ(LintSnippet("src/core/h.cc", kSnippet, options).size(), 1u);
+}
+
+// ---- report formats --------------------------------------------------
+
+TEST(LintReportTest, TextAndJsonAreDeterministicAndParseable) {
+  Linter linter({});
+  linter.AddFile("src/z.cc", "void F() { int* p = new int(1); }\n");
+  linter.AddFile("src/a.cc", "void F() { int* p = new int(1); }\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 2u);
+  // Sorted by file regardless of AddFile order.
+  EXPECT_EQ(findings[0].file, "src/a.cc");
+  EXPECT_EQ(findings[1].file, "src/z.cc");
+
+  const std::string text = FormatText(findings);
+  EXPECT_NE(text.find("src/a.cc:1: error: [sgcl-R5]"), std::string::npos);
+
+  // The JSON report round-trips through the in-repo parser.
+  auto parsed = JsonValue::Parse(FormatJson(findings));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetDouble("count"), 2.0);
+  const JsonValue* list = parsed->Find("findings");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->AsArray().size(), 2u);
+  EXPECT_EQ(list->AsArray()[0].GetString("file"), "src/a.cc");
+  EXPECT_EQ(list->AsArray()[0].GetString("rule"), "sgcl-R5");
+  EXPECT_EQ(list->AsArray()[0].GetString("severity"), "error");
+}
+
+TEST(LintReportTest, EmptyFindingsJson) {
+  auto parsed = JsonValue::Parse(FormatJson({}));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetDouble("count"), 0.0);
+}
+
+}  // namespace
+}  // namespace sgcl::lint

@@ -149,7 +149,7 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch watch;
   // Busy-wait a tiny amount of work.
   volatile double x = 0.0;
-  for (int i = 0; i < 100000; ++i) x += i * 0.5;
+  for (int i = 0; i < 100000; ++i) x = x + i * 0.5;
   EXPECT_GE(watch.ElapsedSeconds(), 0.0);
   EXPECT_GE(watch.ElapsedMillis(), watch.ElapsedSeconds());
   const double before = watch.ElapsedSeconds();

@@ -19,6 +19,33 @@ class ParallelForTest : public ::testing::Test {
 };
 using ThreadPoolTest = ParallelForTest;
 
+TEST(ParseThreadCountTest, AcceptsPositiveIntegers) {
+  ASSERT_TRUE(ParseThreadCount("1").ok());
+  EXPECT_EQ(*ParseThreadCount("1"), 1);
+  EXPECT_EQ(*ParseThreadCount("64"), 64);
+}
+
+TEST(ParseThreadCountTest, RejectsNonNumeric) {
+  EXPECT_FALSE(ParseThreadCount("").ok());
+  EXPECT_FALSE(ParseThreadCount("abc").ok());
+  EXPECT_FALSE(ParseThreadCount("4abc").ok());
+  EXPECT_FALSE(ParseThreadCount("4.5").ok());
+}
+
+TEST(ParseThreadCountTest, RejectsZeroAndNegative) {
+  EXPECT_FALSE(ParseThreadCount("0").ok());
+  const auto negative = ParseThreadCount("-2");
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(negative.status().message().find("positive"), std::string::npos);
+}
+
+TEST(ParseThreadCountTest, RejectsOverflow) {
+  // Larger than both int and long.
+  EXPECT_FALSE(ParseThreadCount("99999999999999999999999").ok());
+  EXPECT_FALSE(ParseThreadCount("2147483648").ok());  // INT_MAX + 1
+}
+
 TEST_F(ThreadPoolTest, RunsSubmittedTasks) {
   ThreadPool pool(4);
   EXPECT_EQ(pool.size(), 4);

@@ -1,5 +1,9 @@
 #include "common/status.h"
 
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
 #include "gtest/gtest.h"
 
 namespace sgcl {
@@ -75,6 +79,76 @@ TEST(StatusTest, AssignOrReturnBindsAndPropagates) {
   EXPECT_FALSE(AssignCaller(-1).ok());
 }
 
+// The macro must evaluate its Result expression exactly once on both the
+// success and the error path — a double evaluation would repeat side
+// effects (I/O, RNG draws) silently.
+Result<int> CountedDoubler(int x, int* calls) {
+  ++*calls;
+  return Doubler(x);
+}
+
+Result<int> CountedAssignCaller(int x, int* calls) {
+  SGCL_ASSIGN_OR_RETURN(int doubled, CountedDoubler(x, calls));
+  return doubled;
+}
+
+TEST(StatusTest, AssignOrReturnEvaluatesExpressionExactlyOnce) {
+  int calls = 0;
+  ASSERT_TRUE(CountedAssignCaller(3, &calls).ok());
+  EXPECT_EQ(calls, 1);
+  calls = 0;
+  ASSERT_FALSE(CountedAssignCaller(-1, &calls).ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(StatusTest, AssignOrReturnPreservesErrorPayload) {
+  const Result<int> failed = AssignCaller(-1);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(failed.status().message(), "negative");
+}
+
+Status CountedCaller(int x, int* calls) {
+  SGCL_RETURN_NOT_OK(FailsWhenNegative((++*calls, x)));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkEvaluatesExpressionExactlyOnce) {
+  int calls = 0;
+  EXPECT_TRUE(CountedCaller(1, &calls).ok());
+  EXPECT_EQ(calls, 1);
+  calls = 0;
+  const Status failed = CountedCaller(-1, &calls);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(failed.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(failed.message(), "negative");
+}
+
+Result<std::unique_ptr<int>> MakeBox(int x) {
+  if (x < 0) return Status::InvalidArgument("negative box");
+  return std::make_unique<int>(x);
+}
+
+Result<int> Unbox(int x) {
+  SGCL_ASSIGN_OR_RETURN(std::unique_ptr<int> box, MakeBox(x));
+  return *box;
+}
+
+TEST(StatusTest, AssignOrReturnMovesMoveOnlyValues) {
+  const Result<int> ok = Unbox(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(Unbox(-1).status().message(), "negative box");
+}
+
+TEST(ResultTest, MoveOnlyValueCanBeTakenByMove) {
+  Result<std::unique_ptr<int>> r = MakeBox(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(*r);
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 5);
+}
+
 TEST(StatusDeathTest, AccessingErrorValueAborts) {
   Result<int> r(Status::Internal("boom"));
   EXPECT_DEATH({ (void)r.value(); }, "SGCL_CHECK failed");
@@ -82,6 +156,30 @@ TEST(StatusDeathTest, AccessingErrorValueAborts) {
 
 TEST(StatusDeathTest, CheckMacroAborts) {
   EXPECT_DEATH({ SGCL_CHECK_EQ(1, 2); }, "SGCL_CHECK failed");
+}
+
+// The diagnostic names the failing expression and its source location so
+// an abort in a deep pipeline is attributable without a debugger.
+TEST(StatusDeathTest, CheckFailureNamesExpressionAndFile) {
+  EXPECT_DEATH({ SGCL_CHECK(2 + 2 == 5); }, "2 \\+ 2 == 5");
+  EXPECT_DEATH({ SGCL_CHECK(false); }, "status_test\\.cc");
+}
+
+TEST(StatusDeathTest, ComparisonCheckVariantsAbort) {
+  EXPECT_DEATH({ SGCL_CHECK_NE(4, 4); }, "SGCL_CHECK failed");
+  EXPECT_DEATH({ SGCL_CHECK_LT(2, 1); }, "SGCL_CHECK failed");
+  EXPECT_DEATH({ SGCL_CHECK_LE(2, 1); }, "SGCL_CHECK failed");
+  EXPECT_DEATH({ SGCL_CHECK_GT(1, 2); }, "SGCL_CHECK failed");
+  EXPECT_DEATH({ SGCL_CHECK_GE(1, 2); }, "SGCL_CHECK failed");
+}
+
+TEST(StatusDeathTest, DcheckMatchesBuildMode) {
+#ifdef NDEBUG
+  SGCL_DCHECK(false);  // compiled out: must not abort in release builds
+  SUCCEED();
+#else
+  EXPECT_DEATH({ SGCL_DCHECK(false); }, "SGCL_CHECK failed");
+#endif
 }
 
 }  // namespace

@@ -83,7 +83,7 @@ TEST(PipelineTest, TransferEndToEnd) {
   cfg.epochs = 3;
   cfg.batch_size = 16;
   SgclTrainer trainer(cfg, 83);
-  trainer.Pretrain(zinc);
+  ASSERT_TRUE(trainer.Pretrain(zinc).ok());
 
   ThreeWaySplit split = ScaffoldSplit(bbbp, 0.7, 0.1);
   FinetuneConfig ft;

@@ -8,8 +8,14 @@
 //                      [--trace-out=trace.json]
 //   sgcl_cli evaluate  --data=ds.bin --model=model.ckpt [--folds=K]
 //   sgcl_cli scores    --data=ds.bin --model=model.ckpt [--graph=I]
-//   sgcl_cli bench     [--data=ds.bin] [--epochs=N] [--graphs=N] [...]
-//                      prints a per-stage timing table
+//   sgcl_cli bench     [--data=ds.bin] [--epochs=N] [--graphs=N]
+//                      [--out-json=stages.json] [--compare=baseline.json]
+//                      [--threshold-pct=P] [...]
+//                      prints a per-stage timing table; --out-json writes
+//                      the stage totals as a google-benchmark JSON file
+//                      (bench_diff-compatible) and --compare diffs the run
+//                      against such a baseline (malformed/empty baseline
+//                      JSON fails with a Status before training starts)
 //
 // Every command supports --help. Flags are typed (common/flags.h):
 // malformed values ("--epochs=abc"), unknown flags, and positional
@@ -33,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_compare.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -436,11 +443,37 @@ int CmdScores(int argc, char** argv) {
   return 0;
 }
 
+// Writes the per-stage totals of a bench run as a google-benchmark JSON
+// result file so bench_diff / --compare can consume it. Entries are named
+// "stage/<name>" plus "epoch/wall"; times are seconds (time_unit "s").
+Status WriteStageBenchJson(const std::string& path,
+                           const std::vector<BenchEntry>& entries) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << "{\"context\":{\"library\":\"sgcl_cli bench\"},\"benchmarks\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out << ',';
+    const double secs = entries[i].real_ns * 1e-9;
+    out << "{\"name\":\"" << JsonEscape(entries[i].name)
+        << "\",\"run_name\":\"" << JsonEscape(entries[i].run_name)
+        << "\",\"run_type\":\"iteration\",\"iterations\":1"
+        << ",\"real_time\":" << JsonDouble(secs)
+        << ",\"cpu_time\":" << JsonDouble(secs) << ",\"time_unit\":\"s\"}";
+  }
+  out << "]}\n";
+  out.flush();
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
 int CmdBench(int argc, char** argv) {
   std::string data;
   std::string dataset = "MUTAG";
   int graphs = 60;
   uint64_t seed = 1;
+  std::string out_json;
+  std::string compare;
+  double threshold_pct = 10.0;
   ModelFlags model_flags;
   model_flags.epochs = 5;
   ObservabilityFlags obs;
@@ -450,10 +483,24 @@ int CmdBench(int argc, char** argv) {
   flags.String("dataset", &dataset, "TU dataset to synthesize when no --data");
   flags.Int("graphs", &graphs, "synthesized graph count when no --data");
   flags.Uint64("seed", &seed, "training seed");
+  flags.String("out-json", &out_json,
+               "write stage totals as google-benchmark JSON");
+  flags.String("compare", &compare,
+               "baseline google-benchmark JSON to diff this run against");
+  flags.Double("threshold-pct", &threshold_pct,
+               "flag --compare slowdowns at or past this percentage");
   model_flags.Register(&flags);
   obs.Register(&flags);
   if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
     return rc;
+  }
+  // Load the baseline up front so a malformed/empty --compare file fails
+  // with a proper Status before any training work starts.
+  std::vector<BenchEntry> baseline;
+  if (!compare.empty()) {
+    auto loaded = LoadBenchmarkJson(compare);
+    if (!loaded.ok()) return Fail(loaded.status());
+    baseline = std::move(*loaded);
   }
   GraphDataset ds;
   if (data.empty()) {
@@ -509,6 +556,41 @@ int CmdBench(int argc, char** argv) {
               static_cast<int>(reports.size()), model_flags.arch.c_str(),
               static_cast<long long>(ds.size()),
               table.ToString(/*with_ranks=*/false).c_str());
+
+  if (!out_json.empty() || !compare.empty()) {
+    std::vector<BenchEntry> current;
+    for (const auto& [stage, secs] : by_stage) {
+      double total = 0.0;
+      for (double s : secs) total += s;
+      BenchEntry e;
+      e.name = "stage/" + stage;
+      e.run_name = e.name;
+      e.real_ns = total * 1e9;
+      e.cpu_ns = e.real_ns;
+      current.push_back(std::move(e));
+    }
+    BenchEntry wall_entry;
+    wall_entry.name = "epoch/wall";
+    wall_entry.run_name = wall_entry.name;
+    wall_entry.real_ns = stats->total_seconds * 1e9;
+    wall_entry.cpu_ns = wall_entry.real_ns;
+    current.push_back(std::move(wall_entry));
+    if (!out_json.empty()) {
+      const Status written = WriteStageBenchJson(out_json, current);
+      if (!written.ok()) return Fail(written);
+      std::printf("wrote %s\n", out_json.c_str());
+    }
+    if (!compare.empty()) {
+      const BenchComparison cmp = CompareBenchmarks(baseline, current);
+      std::printf("\ncomparison vs %s:\n%s", compare.c_str(),
+                  FormatComparison(cmp, threshold_pct).c_str());
+      const int regressions = CountRegressions(cmp, threshold_pct);
+      if (regressions > 0) {
+        std::printf("%d stage(s) regressed past %.1f%% (report-only)\n",
+                    regressions, threshold_pct);
+      }
+    }
+  }
   return 0;
 }
 

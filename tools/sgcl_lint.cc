@@ -1,0 +1,142 @@
+// sgcl_lint: repo-invariant static analyzer (rules in common/lint.h,
+// rationale in DESIGN.md §9).
+//
+//   sgcl_lint [--root=DIR] [--json=FILE] [--allowlist=FILE]
+//             [--fail-on=warning|error|none]
+//
+// Walks src/, tests/, and tools/ under --root (default "."), lints every
+// .h/.cc file, prints a deterministic file-ordered text report, and —
+// when --json is given — writes the same findings as a JSON report (the
+// CI artifact). Exit status: 0 when no finding reaches the --fail-on
+// severity, 1 when one does, 2 on usage or I/O errors. There is no
+// --fix: violations are fixed at the source or suppressed with
+// `// NOLINT(sgcl-RN)` / an allowlist entry, never rewritten blindly.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/lint.h"
+
+namespace sgcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int Run(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_out;
+  std::string allowlist_path;
+  std::string fail_on = "warning";
+  FlagSet flags("sgcl_lint");
+  flags.String("root", &root, "repository root to lint");
+  flags.String("json", &json_out, "write the findings as JSON to this file");
+  flags.String("allowlist", &allowlist_path,
+               "allowlist file (default: <root>/tools/sgcl_lint_allowlist.txt "
+               "when present)");
+  flags.String("fail-on", &fail_on,
+               "minimum severity that fails the run: warning|error|none");
+  const Status st = flags.Parse(argc, argv, 1);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Help().c_str());
+    return 0;
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", st.ToString().c_str(),
+                 flags.Help().c_str());
+    return 2;
+  }
+  if (fail_on != "warning" && fail_on != "error" && fail_on != "none") {
+    std::fprintf(stderr, "error: --fail-on must be warning, error, or none "
+                         "(got '%s')\n", fail_on.c_str());
+    return 2;
+  }
+
+  lint::LintOptions options;
+  if (allowlist_path.empty()) {
+    const fs::path fallback = fs::path(root) / "tools/sgcl_lint_allowlist.txt";
+    if (fs::exists(fallback)) allowlist_path = fallback.string();
+  }
+  if (!allowlist_path.empty()) {
+    auto loaded = lint::LoadAllowlist(allowlist_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 2;
+    }
+    options = std::move(loaded).value();
+  }
+
+  // Deterministic file order: collect, normalize to repo-relative
+  // forward-slash paths, sort.
+  std::vector<std::string> rel_paths;
+  for (const char* top : {"src", "tests", "tools"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      rel_paths.push_back(
+          fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+  if (rel_paths.empty()) {
+    std::fprintf(stderr, "error: no .h/.cc files under %s/{src,tests,tools}\n",
+                 root.c_str());
+    return 2;
+  }
+
+  lint::Linter linter(options);
+  for (const std::string& rel : rel_paths) {
+    auto content = ReadFile(fs::path(root) / rel);
+    if (!content.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   content.status().ToString().c_str());
+      return 2;
+    }
+    linter.AddFile(rel, *content);
+  }
+
+  const std::vector<lint::Finding> findings = linter.Run();
+  std::printf("%s", lint::FormatText(findings).c_str());
+
+  size_t errors = 0, warnings = 0;
+  for (const lint::Finding& f : findings) {
+    (f.severity == lint::Severity::kError ? errors : warnings) += 1;
+  }
+  std::printf("sgcl_lint: %zu file(s), %zu error(s), %zu warning(s)\n",
+              rel_paths.size(), errors, warnings);
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_out.c_str());
+      return 2;
+    }
+    out << lint::FormatJson(findings);
+  }
+
+  if (fail_on == "none") return 0;
+  if (fail_on == "error") return errors > 0 ? 1 : 0;
+  return errors + warnings > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace sgcl
+
+int main(int argc, char** argv) { return sgcl::Run(argc, argv); }
