@@ -1,0 +1,27 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte ranges.
+//
+// Used to guard checkpoint sections against silent bit rot: each section
+// of the v2 checkpoint format stores the CRC of its payload, and the
+// loader rejects any section whose stored and recomputed CRCs disagree
+// (nn/checkpoint.h). Table-driven, byte-at-a-time — checkpoint payloads
+// are a few MB at most, so throughput is irrelevant next to the fsync.
+#ifndef SGCL_COMMON_CRC32_H_
+#define SGCL_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sgcl {
+
+// CRC of `size` bytes at `data`. Pass a previous result as `seed` to
+// checksum a logical stream in pieces: Crc32(b, nb, Crc32(a, na)).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(const std::string& bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace sgcl
+
+#endif  // SGCL_COMMON_CRC32_H_

@@ -1,0 +1,102 @@
+#include "common/fault.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sgcl {
+namespace {
+
+constexpr const char* kCrashPrefix = "simulated crash @ ";
+
+}  // namespace
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kShortWrite:
+      return "short-write";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+Status SimulatedCrash(const std::string& point) {
+  return Status::Internal(kCrashPrefix + point);
+}
+
+bool IsSimulatedCrash(const Status& status) {
+  return status.code() == StatusCode::kInternal &&
+         status.message().rfind(kCrashPrefix, 0) == 0;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* const injector =
+      new FaultInjector();  // NOLINT(sgcl-R5): intentionally leaked singleton
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultKind kind,
+                        int64_t nth) {
+  SGCL_CHECK_GE(nth, 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  arms_[point].push_back(Arming{kind, nth, false});
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmRandom(double p, uint64_t seed, FaultKind kind) {
+  SGCL_CHECK(p >= 0.0 && p <= 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  random_p_ = p;
+  random_kind_ = kind;
+  random_rng_.emplace(seed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  arms_.clear();
+  hit_counts_.clear();
+  random_p_ = 0.0;
+  random_rng_.reset();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::optional<FaultKind> FaultInjector::Check(const std::string& point) {
+  if (!enabled_.load(std::memory_order_relaxed)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return std::nullopt;
+  const int64_t hit = ++hit_counts_[point];
+  const auto it = arms_.find(point);
+  if (it != arms_.end()) {
+    for (Arming& arm : it->second) {
+      if (!arm.fired && arm.nth == hit) {
+        arm.fired = true;
+        return arm.kind;
+      }
+    }
+  }
+  if (random_rng_.has_value() && random_p_ > 0.0 &&
+      random_rng_->Bernoulli(random_p_)) {
+    return random_kind_;
+  }
+  return std::nullopt;
+}
+
+int64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hit_counts_.find(point);
+  return it == hit_counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> FaultInjector::SeenPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> points;
+  points.reserve(hit_counts_.size());
+  for (const auto& [point, count] : hit_counts_) points.push_back(point);
+  return points;  // std::map iterates in sorted key order already
+}
+
+}  // namespace sgcl

@@ -1,0 +1,125 @@
+// Deterministic fault injection for crash-consistency testing.
+//
+// Production code threads named *injection points* through its failure-
+// prone phases (file writes, fsync, rename, checkpoint phase boundaries)
+// by calling FaultInjector::Global().Check("point/name"). When the
+// injector is disarmed — the default, and the only state production runs
+// ever see — Check is a single relaxed atomic load returning "no fault".
+// Tests arm faults at specific points and hit counts (or via a seeded
+// Bernoulli sweep) and then exercise the real error-handling paths
+// in-tree instead of hoping the disk misbehaves on cue.
+//
+// Fault kinds:
+//   kError      the operation reports failure (EIO-style Status) after
+//               performing no further work at the point.
+//   kShortWrite only for write points: the write persists a prefix of
+//               the buffer, then reports failure (torn-write model).
+//   kCrash      simulated process death: the operation abandons
+//               everything mid-phase — no cleanup, no rollback, on-disk
+//               state stays exactly as the "crash" left it — and a
+//               sentinel Status unwinds to the test harness, which plays
+//               the role of the restarted process.
+//
+// Determinism: nth-hit arming is exact by construction; ArmRandom draws
+// from a common/rng Rng seeded by the caller, so a seed reproduces the
+// same fault schedule bit-for-bit (lint rule sgcl-R2 keeps other entropy
+// sources out of the tree).
+//
+// The catalog of injection points compiled into the library is listed in
+// DESIGN.md §10.3; tests assert against those names.
+#ifndef SGCL_COMMON_FAULT_H_
+#define SGCL_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sgcl {
+
+enum class FaultKind { kError, kShortWrite, kCrash };
+
+const char* FaultKindToString(FaultKind kind);
+
+// Builds the sentinel Status for a simulated crash at `point`.
+// IsSimulatedCrash recognizes exactly these, so harnesses can tell
+// "the process died here on purpose" apart from real failures.
+Status SimulatedCrash(const std::string& point);
+[[nodiscard]] bool IsSimulatedCrash(const Status& status);
+
+class FaultInjector {
+ public:
+  // The process-wide injector every injection point consults.
+  static FaultInjector& Global();
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Arms `kind` to fire on the `nth` (1-based) hit of `point`. Multiple
+  // arms may coexist (different points, or different hits of one point);
+  // each arm fires at most once.
+  void Arm(const std::string& point, FaultKind kind, int64_t nth = 1);
+
+  // Arms a seeded Bernoulli sweep: every Check at any point fires `kind`
+  // with probability `p`, drawn from an Rng seeded with `seed`. The
+  // schedule is a pure function of (seed, sequence of Check calls), so a
+  // deterministic workload replays the same faults.
+  void ArmRandom(double p, uint64_t seed, FaultKind kind = FaultKind::kError);
+
+  // Disarms everything and zeroes hit counters. Leaves the injector in
+  // the default (disabled) state.
+  void Reset();
+
+  // The fault to inject at `point` for this hit, or nullopt to proceed.
+  // Counts the hit whenever any arming is active; free when disarmed.
+  std::optional<FaultKind> Check(const std::string& point);
+
+  // Hits observed at `point` since the last Reset while armed (0 when
+  // never armed). Lets tests assert an injection point is actually on
+  // the code path they think it is.
+  int64_t hits(const std::string& point) const;
+
+  // Every point name observed since the last Reset while armed, sorted.
+  std::vector<std::string> SeenPoints() const;
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Arming {
+    FaultKind kind;
+    int64_t nth = 1;  // fire on this 1-based hit
+    bool fired = false;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Arming>> arms_;
+  std::map<std::string, int64_t> hit_counts_;
+  // Bernoulli sweep state; active when random_p_ > 0.
+  double random_p_ = 0.0;
+  FaultKind random_kind_ = FaultKind::kError;
+  std::optional<Rng> random_rng_;
+};
+
+// Test-scoped arming: Reset on construction and destruction, so a test
+// can never leak an armed fault into the next one.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection() { FaultInjector::Global().Reset(); }
+  ~ScopedFaultInjection() { FaultInjector::Global().Reset(); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_COMMON_FAULT_H_

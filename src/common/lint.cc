@@ -376,11 +376,11 @@ Result<LintOptions> LoadAllowlist(const std::string& path) {
     const std::string rule = Trim(entry.substr(colon + 1));
     const bool valid_rule =
         rule == "*" || (rule.size() == 7 && rule.rfind("sgcl-R", 0) == 0 &&
-                        rule[6] >= '1' && rule[6] <= '5');
+                        rule[6] >= '1' && rule[6] <= '6');
     if (file.empty() || !valid_rule) {
       return Status::InvalidArgument(
           StrFormat("allowlist %s:%d: bad entry '%s' (rule must be "
-                    "sgcl-R1..sgcl-R5 or *)",
+                    "sgcl-R1..sgcl-R6 or *)",
                     path.c_str(), lineno, entry.c_str()));
     }
     if (reason.empty()) {
@@ -434,6 +434,12 @@ void Linter::LintFile(const FileEntry& file, std::vector<Finding>* out) const {
   const std::set<std::string> fallible(fallible_names_.begin(),
                                        fallible_names_.end());
   const bool rng_impl = file.path.rfind("src/common/rng.", 0) == 0;
+  // R6 scope: production checkpoint-path sources. Tests are exempt —
+  // corruption tests write torn files on purpose.
+  const bool checkpoint_path =
+      file.path.rfind("tests/", 0) != 0 &&
+      (file.path.find("checkpoint") != std::string::npos ||
+       file.path.find("train_state") != std::string::npos);
 
   for (size_t li = 0; li < scrubbed.size(); ++li) {
     const std::string& line = scrubbed[li];
@@ -538,6 +544,23 @@ void Linter::LintFile(const FileEntry& file, std::vector<Finding>* out) const {
         }
       }
       i += std::string(matched).size() - 1;
+    }
+
+    // R6: raw file-writing primitives in checkpoint-path sources.
+    if (checkpoint_path) {
+      for (const char* prim : {"ofstream", "fopen", "fwrite"}) {
+        for (size_t i = 0; i < line.size(); ++i) {
+          if (TokenAt(line, i, prim)) {
+            emit(li, "sgcl-R6", Severity::kError,
+                 StrFormat("raw '%s' in a checkpoint path bypasses the "
+                           "atomic-write API; persist through "
+                           "AtomicWriteFile (common/io.h) so a crash can "
+                           "never publish a torn checkpoint",
+                           prim));
+            break;
+          }
+        }
+      }
     }
 
     // R4b: using namespace in headers.

@@ -20,6 +20,13 @@
 //            no `using namespace` at namespace scope in headers.
 //   sgcl-R5  no naked new/delete outside the allowlist (intentionally
 //            leaked singletons carry inline NOLINT suppressions).
+//   sgcl-R6  crash consistency: checkpoint-path sources (any src/ or
+//            tools/ file whose name contains "checkpoint" or
+//            "train_state") must not write files with raw primitives
+//            (std::ofstream, fopen, fwrite) — persistence goes through
+//            AtomicWriteFile (common/io.h) so a crash can never publish
+//            a torn checkpoint. Tests are exempt: they craft torn files
+//            on purpose.
 //
 // Suppression: `// NOLINT(sgcl-R3)` on the offending line or
 // `// NOLINTNEXTLINE(sgcl-R3)` on the line above; a bare `// NOLINT`
@@ -44,7 +51,7 @@ const char* SeverityToString(Severity severity);
 struct Finding {
   std::string file;  // repo-relative path as given to AddFile
   int line = 0;      // 1-based
-  std::string rule;  // "sgcl-R1" .. "sgcl-R5"
+  std::string rule;  // "sgcl-R1" .. "sgcl-R6"
   Severity severity = Severity::kError;
   std::string message;
 };

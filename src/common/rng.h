@@ -7,12 +7,28 @@
 #ifndef SGCL_COMMON_RNG_H_
 #define SGCL_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "common/check.h"
 
 namespace sgcl {
+
+// Complete serializable state of an Rng stream: the xoshiro256** words
+// plus the Box-Muller spare. Restoring it resumes the stream at exactly
+// the draw where GetState was taken — the checkpoint/resume contract
+// (core/train_state.h) depends on this being the *whole* state.
+struct RngState {
+  std::array<uint64_t, 4> s{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+
+  bool operator==(const RngState& other) const {
+    return s == other.s && has_cached_normal == other.has_cached_normal &&
+           cached_normal == other.cached_normal;
+  }
+};
 
 class Rng {
  public:
@@ -61,6 +77,10 @@ class Rng {
 
   // An independent generator derived from this one's stream.
   Rng Fork();
+
+  // Snapshot / restore of the full stream state (checkpointing).
+  RngState GetState() const;
+  void SetState(const RngState& state);
 
  private:
   uint64_t s_[4];

@@ -35,6 +35,9 @@ void RunStatusBoard::BeginRun(const std::string& command, int total_epochs) {
   last_epoch_seconds_ = 0.0;
   losses_.clear();
   stage_seconds_.clear();
+  checkpoint_count_ = 0;
+  last_checkpoint_path_.clear();
+  checkpoint_seconds_ = 0.0;
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -54,6 +57,14 @@ void RunStatusBoard::RecordEpoch(
 void RunStatusBoard::EndRun(bool ok) {
   std::lock_guard<std::mutex> lock(mu_);
   state_ = ok ? "done" : "failed";
+}
+
+void RunStatusBoard::RecordCheckpoint(const std::string& path,
+                                      double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checkpoint_count_;
+  last_checkpoint_path_ = path;
+  checkpoint_seconds_ += seconds;
 }
 
 std::string RunStatusBoard::ToJson() const {
@@ -90,7 +101,15 @@ std::string RunStatusBoard::ToJson() const {
     json.append("\"").append(JsonEscape(stage)).append("\":");
     json.append(JsonDouble(secs));
   }
-  json += "}}";
+  json += "}";
+  if (checkpoint_count_ > 0) {
+    json += ",\"checkpoint\":{\"count\":" + std::to_string(checkpoint_count_);
+    json.append(",\"last_path\":\"")
+        .append(JsonEscape(last_checkpoint_path_))
+        .append("\"");
+    json += ",\"total_seconds\":" + JsonDouble(checkpoint_seconds_) + "}";
+  }
+  json += "}";
   return json;
 }
 

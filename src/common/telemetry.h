@@ -51,11 +51,16 @@ class RunStatusBoard {
                    const std::map<std::string, double>& stage_seconds);
   // Final state: "done" or "failed".
   void EndRun(bool ok);
+  // Publishes a completed checkpoint save (wired to
+  // PretrainOptions::on_checkpoint); /status then reports the latest
+  // checkpoint path, count, and cumulative save seconds.
+  void RecordCheckpoint(const std::string& path, double seconds);
 
   // One JSON object: run_id, state, command, uptime_seconds,
   // completed_epochs, epoch (in progress, 1-based), total_epochs,
-  // last_loss, last_epoch_seconds, losses (per completed epoch), and
-  // cumulative stage_seconds.
+  // last_loss, last_epoch_seconds, losses (per completed epoch),
+  // cumulative stage_seconds, and checkpoint {count, last_path,
+  // total_seconds} when any checkpoint was saved.
   std::string ToJson() const;
 
  private:
@@ -67,6 +72,9 @@ class RunStatusBoard {
   double last_epoch_seconds_ = 0.0;
   std::vector<double> losses_;
   std::map<std::string, double> stage_seconds_;
+  int checkpoint_count_ = 0;
+  std::string last_checkpoint_path_;
+  double checkpoint_seconds_ = 0.0;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "common/trace.h"
+#include "core/train_state.h"
+#include "nn/checkpoint.h"
 
 namespace sgcl {
 namespace {
@@ -83,9 +87,67 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
       return Status::OutOfRange("Pretrain index outside dataset");
     }
   }
+  if (!options.checkpoint_dir.empty()) {
+    if (options.checkpoint_every <= 0) {
+      return Status::InvalidArgument(
+          "PretrainOptions::checkpoint_every must be >= 1");
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      return Status::Internal(
+          StrFormat("cannot create checkpoint directory %s: %s",
+                    options.checkpoint_dir.c_str(), ec.message().c_str()));
+    }
+  }
+
   PretrainStats stats;
   stats.epoch_losses.reserve(config_.epochs);
   stats.epoch_seconds.reserve(config_.epochs);
+  const uint64_t fingerprint = ConfigFingerprint(config_);
+  int start_epoch = 0;
+  double restored_seconds = 0.0;
+  if (!options.resume_from.empty()) {
+    Stopwatch load_watch;
+    SGCL_ASSIGN_OR_RETURN(const TrainState state,
+                          LoadTrainCheckpoint(options.resume_from));
+    if (state.config_fingerprint != fingerprint) {
+      return Status::InvalidArgument(StrFormat(
+          "%s was written by a run with config fingerprint %016llx, this "
+          "trainer has %016llx",
+          options.resume_from.c_str(),
+          static_cast<unsigned long long>(state.config_fingerprint),
+          static_cast<unsigned long long>(fingerprint)));
+    }
+    // The checkpointed permutation must cover exactly the graphs this
+    // call selected; a different index set is a different run.
+    std::vector<int64_t> want = order;
+    std::vector<int64_t> got = state.order;
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    if (want != got) {
+      return Status::InvalidArgument(StrFormat(
+          "%s covers a different graph index set than this Pretrain call",
+          options.resume_from.c_str()));
+    }
+    SGCL_RETURN_NOT_OK(ApplyModuleParams(state.model_params, model_.get(),
+                                         options.resume_from));
+    SGCL_RETURN_NOT_OK(optimizer_->ImportState(state.optimizer));
+    rng_.SetState(state.rng);
+    order = state.order;
+    start_epoch = state.next_epoch;
+    stats.epoch_losses = state.epoch_losses;
+    stats.epoch_seconds = state.epoch_seconds;
+    stats.total_batches = state.total_batches;
+    for (double s : state.epoch_seconds) restored_seconds += s;
+    const double load_seconds = load_watch.ElapsedSeconds();
+    MetricsRegistry::Global().GetCounter("checkpoint/loads")->Increment();
+    MetricsRegistry::Global()
+        .GetCounter("time/checkpoint_us")
+        ->Increment(static_cast<int64_t>(load_seconds * 1e6));
+    SGCL_LOG(INFO) << "resumed from " << options.resume_from << " at epoch "
+                   << start_epoch << " (" << load_seconds << "s load)";
+  }
   Stopwatch run_watch;
   const std::map<std::string, double> run_stage_before =
       StageSeconds(MetricsRegistry::Global().Snapshot());
@@ -94,7 +156,7 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
       MetricsRegistry::Global().GetCounter("train/epochs");
   static Counter* const batches_counter =
       MetricsRegistry::Global().GetCounter("train/batches");
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     SGCL_TRACE_SPAN("train/epoch");
     Stopwatch epoch_watch;
     rng_.Shuffle(&order);
@@ -104,7 +166,7 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
          start += config_.batch_size) {
       if (options.should_cancel && options.should_cancel()) {
         stats.cancelled = true;
-        stats.total_seconds = run_watch.ElapsedSeconds();
+        stats.total_seconds = restored_seconds + run_watch.ElapsedSeconds();
         stats.stage_seconds =
             StageDelta(run_stage_before,
                        StageSeconds(MetricsRegistry::Global().Snapshot()));
@@ -155,6 +217,41 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
     epochs_counter->Increment();
     RecordEpochLossMetrics(mean_loss);
     SGCL_LOG(DEBUG) << "pretrain epoch " << epoch << " loss " << mean_loss;
+    if (!options.checkpoint_dir.empty() &&
+        ((epoch + 1) % options.checkpoint_every == 0 ||
+         epoch + 1 == config_.epochs)) {
+      Stopwatch save_watch;
+      TrainState state;
+      state.config_fingerprint = fingerprint;
+      state.model_params = SerializeModuleParams(*model_);
+      state.optimizer = optimizer_->ExportState();
+      state.rng = rng_.GetState();
+      state.next_epoch = epoch + 1;
+      state.total_epochs = config_.epochs;
+      state.total_batches = stats.total_batches;
+      state.order = order;
+      state.epoch_losses = stats.epoch_losses;
+      state.epoch_seconds = stats.epoch_seconds;
+      const std::string path =
+          CheckpointFileName(options.checkpoint_dir, epoch + 1);
+      SGCL_RETURN_NOT_OK(SaveTrainCheckpoint(state, path));
+      SGCL_RETURN_NOT_OK(PruneCheckpoints(options.checkpoint_dir,
+                                          options.checkpoint_keep_last));
+      const double save_seconds = save_watch.ElapsedSeconds();
+      MetricsRegistry::Global().GetCounter("checkpoint/saves")->Increment();
+      MetricsRegistry::Global()
+          .GetCounter("time/checkpoint_us")
+          ->Increment(static_cast<int64_t>(save_seconds * 1e6));
+      SGCL_LOG(DEBUG) << "checkpoint " << path << " saved in "
+                      << save_seconds << "s";
+      if (options.on_checkpoint) {
+        CheckpointReport report;
+        report.path = path;
+        report.epoch = epoch;
+        report.seconds = save_seconds;
+        options.on_checkpoint(report);
+      }
+    }
     if (options.on_epoch_end) {
       const std::map<std::string, double> stage_after =
           StageSeconds(MetricsRegistry::Global().Snapshot());
@@ -169,7 +266,7 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
       options.on_epoch_end(report);
     }
   }
-  stats.total_seconds = run_watch.ElapsedSeconds();
+  stats.total_seconds = restored_seconds + run_watch.ElapsedSeconds();
   stats.stage_seconds = StageDelta(
       run_stage_before, StageSeconds(MetricsRegistry::Global().Snapshot()));
   return stats;

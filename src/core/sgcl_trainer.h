@@ -44,10 +44,19 @@ struct PretrainStats {
   bool cancelled = false;
 };
 
+// Record of one checkpoint save handed to PretrainOptions::on_checkpoint.
+struct CheckpointReport {
+  std::string path;
+  int epoch = 0;         // 0-based epoch the checkpoint was taken after
+  double seconds = 0.0;  // serialize + atomic-publish wall time
+};
+
 // Observability and control hooks for Pretrain. Default-constructed
 // options reproduce the plain training loop exactly: the observer only
 // reads timings, so attaching one never changes epoch_losses (the loop's
-// RNG stream and arithmetic are untouched).
+// RNG stream and arithmetic are untouched). Checkpointing is likewise
+// off the training tape — it snapshots state between epochs, so enabling
+// it never perturbs losses either.
 struct PretrainOptions {
   // Called after each completed epoch.
   std::function<void(const EpochReport&)> on_epoch_end;
@@ -55,6 +64,24 @@ struct PretrainOptions {
   // current batch (the partial epoch is discarded from epoch_losses and
   // stats.cancelled is set).
   std::function<bool()> should_cancel;
+
+  // Crash-safe checkpointing (core/train_state.h). When checkpoint_dir
+  // is non-empty, a checkpoint is written atomically after every
+  // checkpoint_every-th completed epoch and after the final epoch,
+  // retaining the checkpoint_keep_last newest files.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  int checkpoint_keep_last = 3;
+  // Path of a checkpoint to resume from (typically
+  // FindLatestCheckpoint(checkpoint_dir)). The trainer must have been
+  // constructed with a config whose ConfigFingerprint matches the
+  // checkpoint's, and the call's `indices` must select the same graph
+  // set the checkpointed run used. The resumed run replays the exact
+  // remaining epochs: its PretrainStats (including the restored-epoch
+  // prefix) is bitwise identical to an uninterrupted run's.
+  std::string resume_from;
+  // Called after each successful checkpoint save.
+  std::function<void(const CheckpointReport&)> on_checkpoint;
 };
 
 // Publishes one epoch's loss to the global metrics registry: sets gauge

@@ -1,0 +1,317 @@
+#include "core/train_state.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/io.h"
+#include "common/string_util.h"
+#include "nn/checkpoint.h"
+
+namespace sgcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kCheckpointPrefix[] = "ckpt-";
+constexpr char kCheckpointSuffix[] = ".sgcl";
+
+// FNV-1a 64-bit.
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string SerializeOptimizerSection(const AdamState& state) {
+  BufferWriter writer;
+  writer.WriteI64(state.t);
+  writer.WriteI64(static_cast<int64_t>(state.m.size()));
+  for (size_t k = 0; k < state.m.size(); ++k) {
+    writer.WriteFloatVector(state.m[k]);
+    writer.WriteFloatVector(state.v[k]);
+  }
+  return writer.TakeBytes();
+}
+
+Status ParseOptimizerSection(const std::string& bytes,
+                             const std::string& what, AdamState* out) {
+  BufferReader reader(bytes);
+  out->t = reader.ReadI64();
+  const int64_t count = reader.ReadI64();
+  if (!reader.ok() || count < 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s optimizer section has a corrupt header", what.c_str()));
+  }
+  out->m.clear();
+  out->v.clear();
+  out->m.reserve(static_cast<size_t>(count));
+  out->v.reserve(static_cast<size_t>(count));
+  for (int64_t k = 0; k < count; ++k) {
+    out->m.push_back(reader.ReadFloatVector());
+    out->v.push_back(reader.ReadFloatVector());
+    if (!reader.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s optimizer section moment %lld is corrupt", what.c_str(),
+          static_cast<long long>(k)));
+    }
+  }
+  return reader.Finish(what + " optimizer section");
+}
+
+std::string SerializeRngSection(const RngState& state) {
+  BufferWriter writer;
+  writer.WriteI64(1);  // stream count (forward compat with forked streams)
+  for (uint64_t word : state.s) writer.WriteU64(word);
+  writer.WriteU32(state.has_cached_normal ? 1u : 0u);
+  writer.WriteF64(state.cached_normal);
+  return writer.TakeBytes();
+}
+
+Status ParseRngSection(const std::string& bytes, const std::string& what,
+                       RngState* out) {
+  BufferReader reader(bytes);
+  const int64_t streams = reader.ReadI64();
+  if (!reader.ok() || streams != 1) {
+    return Status::InvalidArgument(StrFormat(
+        "%s rng section declares %lld streams, expected 1", what.c_str(),
+        static_cast<long long>(streams)));
+  }
+  for (uint64_t& word : out->s) word = reader.ReadU64();
+  const uint32_t has_cached = reader.ReadU32();
+  out->cached_normal = reader.ReadF64();
+  if (!reader.ok() || has_cached > 1) {
+    return Status::InvalidArgument(
+        StrFormat("%s rng section is corrupt", what.c_str()));
+  }
+  out->has_cached_normal = has_cached == 1;
+  return reader.Finish(what + " rng section");
+}
+
+std::string SerializeCursorSection(const TrainState& state) {
+  BufferWriter writer;
+  writer.WriteI64(state.next_epoch);
+  writer.WriteI64(state.total_epochs);
+  writer.WriteI64(state.total_batches);
+  writer.WriteI64Vector(state.order);
+  writer.WriteFloatVector(state.epoch_losses);
+  writer.WriteI64(static_cast<int64_t>(state.epoch_seconds.size()));
+  for (double s : state.epoch_seconds) writer.WriteF64(s);
+  return writer.TakeBytes();
+}
+
+Status ParseCursorSection(const std::string& bytes, const std::string& what,
+                          TrainState* out) {
+  BufferReader reader(bytes);
+  const int64_t next_epoch = reader.ReadI64();
+  const int64_t total_epochs = reader.ReadI64();
+  out->total_batches = reader.ReadI64();
+  out->order = reader.ReadI64Vector();
+  out->epoch_losses = reader.ReadFloatVector();
+  const int64_t seconds_count = reader.ReadI64();
+  if (!reader.ok() || next_epoch < 0 || total_epochs < 0 ||
+      next_epoch > total_epochs || seconds_count < 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s cursor section is corrupt", what.c_str()));
+  }
+  out->next_epoch = static_cast<int>(next_epoch);
+  out->total_epochs = static_cast<int>(total_epochs);
+  out->epoch_seconds.resize(static_cast<size_t>(seconds_count));
+  for (double& s : out->epoch_seconds) s = reader.ReadF64();
+  if (static_cast<int64_t>(out->epoch_losses.size()) != next_epoch ||
+      seconds_count != next_epoch) {
+    return Status::InvalidArgument(StrFormat(
+        "%s cursor section: %zu losses / %lld timings for %lld completed "
+        "epochs",
+        what.c_str(), out->epoch_losses.size(),
+        static_cast<long long>(seconds_count),
+        static_cast<long long>(next_epoch)));
+  }
+  return reader.Finish(what + " cursor section");
+}
+
+// The epoch encoded in a checkpoint file name, or -1 for foreign names
+// (including the ".tmp" files a crashed atomic write leaves behind).
+int64_t EpochFromFileName(const std::string& name) {
+  const size_t prefix_len = sizeof(kCheckpointPrefix) - 1;
+  const size_t suffix_len = sizeof(kCheckpointSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return -1;
+  if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) return -1;
+  if (name.compare(name.size() - suffix_len, suffix_len,
+                   kCheckpointSuffix) != 0) {
+    return -1;
+  }
+  const std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty()) return -1;
+  int64_t epoch = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+    epoch = epoch * 10 + (c - '0');
+    if (epoch > (int64_t{1} << 40)) return -1;
+  }
+  return epoch;
+}
+
+// All complete checkpoints in `dir` as (epoch, path), sorted by epoch.
+std::vector<std::pair<int64_t, std::string>> ListCheckpoints(
+    const std::string& dir) {
+  std::vector<std::pair<int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const int64_t epoch = EpochFromFileName(name);
+    if (epoch >= 0) found.emplace_back(epoch, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace
+
+uint64_t ConfigFingerprint(const SgclConfig& config) {
+  // Canonical little-endian field dump. Append-only: new fields go at
+  // the end so old fingerprints stay stable under code that never reads
+  // the new field.
+  BufferWriter writer;
+  writer.WriteU32(static_cast<uint32_t>(config.encoder.arch));
+  writer.WriteI64(config.encoder.in_dim);
+  writer.WriteI64(config.encoder.hidden_dim);
+  writer.WriteI64(config.encoder.num_layers);
+  writer.WriteU32(static_cast<uint32_t>(config.encoder.pooling));
+  writer.WriteI64(config.encoder.gat_heads);
+  writer.WriteU32(config.encoder.use_layer_norm ? 1u : 0u);
+  writer.WriteI64(config.proj_dim);
+  writer.WriteF32(config.tau);
+  writer.WriteF32(config.lambda_c);
+  writer.WriteF32(config.lambda_w);
+  writer.WriteF64(config.rho);
+  writer.WriteU32(static_cast<uint32_t>(config.augmentation));
+  writer.WriteU32(static_cast<uint32_t>(config.lipschitz_mode));
+  writer.WriteI64(config.max_view_nodes);
+  writer.WriteU32(config.semantic_pooling ? 1u : 0u);
+  writer.WriteF32(config.generator_loss_weight);
+  writer.WriteF32(config.learning_rate);
+  writer.WriteI64(config.epochs);
+  writer.WriteI64(config.batch_size);
+  writer.WriteF32(config.grad_clip);
+  return Fnv1a(writer.bytes());
+}
+
+std::string SerializeTrainState(const TrainState& state) {
+  BufferWriter config_writer;
+  config_writer.WriteU64(state.config_fingerprint);
+
+  std::vector<CheckpointSection> sections;
+  sections.push_back({static_cast<uint32_t>(CheckpointSectionId::kConfig),
+                      config_writer.TakeBytes()});
+  sections.push_back({static_cast<uint32_t>(CheckpointSectionId::kModel),
+                      state.model_params});
+  sections.push_back({static_cast<uint32_t>(CheckpointSectionId::kOptimizer),
+                      SerializeOptimizerSection(state.optimizer)});
+  sections.push_back({static_cast<uint32_t>(CheckpointSectionId::kRng),
+                      SerializeRngSection(state.rng)});
+  sections.push_back({static_cast<uint32_t>(CheckpointSectionId::kCursor),
+                      SerializeCursorSection(state)});
+  return SerializeCheckpointV2(sections);
+}
+
+Result<TrainState> ParseTrainState(const std::string& bytes,
+                                   const std::string& what) {
+  SGCL_ASSIGN_OR_RETURN(const std::vector<CheckpointSection> sections,
+                        ParseCheckpointV2(bytes, what));
+  TrainState state;
+
+  SGCL_ASSIGN_OR_RETURN(
+      const std::string config_bytes,
+      FindCheckpointSection(sections, CheckpointSectionId::kConfig, what));
+  BufferReader config_reader(config_bytes);
+  state.config_fingerprint = config_reader.ReadU64();
+  SGCL_RETURN_NOT_OK(config_reader.Finish(what + " config section"));
+
+  SGCL_ASSIGN_OR_RETURN(
+      state.model_params,
+      FindCheckpointSection(sections, CheckpointSectionId::kModel, what));
+
+  SGCL_ASSIGN_OR_RETURN(
+      const std::string optimizer_bytes,
+      FindCheckpointSection(sections, CheckpointSectionId::kOptimizer, what));
+  SGCL_RETURN_NOT_OK(
+      ParseOptimizerSection(optimizer_bytes, what, &state.optimizer));
+
+  SGCL_ASSIGN_OR_RETURN(
+      const std::string rng_bytes,
+      FindCheckpointSection(sections, CheckpointSectionId::kRng, what));
+  SGCL_RETURN_NOT_OK(ParseRngSection(rng_bytes, what, &state.rng));
+
+  SGCL_ASSIGN_OR_RETURN(
+      const std::string cursor_bytes,
+      FindCheckpointSection(sections, CheckpointSectionId::kCursor, what));
+  SGCL_RETURN_NOT_OK(ParseCursorSection(cursor_bytes, what, &state));
+
+  return state;
+}
+
+Status SaveTrainCheckpoint(const TrainState& state, const std::string& path) {
+  if (auto fault = FaultInjector::Global().Check("checkpoint/serialize");
+      fault.has_value()) {
+    // Phase boundary: dies before any byte reaches disk.
+    if (*fault == FaultKind::kCrash) {
+      return SimulatedCrash("checkpoint/serialize");
+    }
+    return Status::Internal(StrFormat(
+        "injected failure serializing checkpoint %s", path.c_str()));
+  }
+  return AtomicWriteFile(path, SerializeTrainState(state));
+}
+
+Result<TrainState> LoadTrainCheckpoint(const std::string& path) {
+  SGCL_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  return ParseTrainState(bytes, path);
+}
+
+std::string CheckpointFileName(const std::string& dir, int next_epoch) {
+  return StrFormat("%s/%s%06d%s", dir.c_str(), kCheckpointPrefix, next_epoch,
+                   kCheckpointSuffix);
+}
+
+Result<std::string> FindLatestCheckpoint(const std::string& dir) {
+  const auto found = ListCheckpoints(dir);
+  if (found.empty()) {
+    return Status::NotFound(
+        StrFormat("no checkpoints under %s", dir.c_str()));
+  }
+  return found.back().second;
+}
+
+Status PruneCheckpoints(const std::string& dir, int keep_last) {
+  if (keep_last <= 0) return Status::OK();
+  auto found = ListCheckpoints(dir);
+  if (static_cast<int64_t>(found.size()) <= keep_last) return Status::OK();
+  if (auto fault = FaultInjector::Global().Check("checkpoint/prune");
+      fault.has_value()) {
+    // Pruning is after the new checkpoint is durable; dying here only
+    // leaves extra old checkpoints behind.
+    if (*fault == FaultKind::kCrash) return SimulatedCrash("checkpoint/prune");
+    return Status::Internal(
+        StrFormat("injected failure pruning checkpoints in %s", dir.c_str()));
+  }
+  const size_t delete_count = found.size() - static_cast<size_t>(keep_last);
+  for (size_t i = 0; i < delete_count; ++i) {
+    std::error_code ec;
+    std::filesystem::remove(found[i].second, ec);
+    if (ec) {
+      return Status::Internal(StrFormat("cannot delete %s: %s",
+                                        found[i].second.c_str(),
+                                        ec.message().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sgcl

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/string_util.h"
+
 namespace sgcl {
 
 Optimizer::Optimizer(std::vector<Tensor> params)
@@ -74,6 +76,41 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
     m_.emplace_back(p.impl()->data.size(), 0.0f);
     v_.emplace_back(p.impl()->data.size(), 0.0f);
   }
+}
+
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.t = t_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+Status Adam::ImportState(const AdamState& state) {
+  if (state.t < 0) {
+    return Status::InvalidArgument(
+        StrFormat("Adam state has negative step count %lld",
+                  static_cast<long long>(state.t)));
+  }
+  if (state.m.size() != m_.size() || state.v.size() != v_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("Adam state covers %zu/%zu moment vectors, optimizer has "
+                  "%zu parameters",
+                  state.m.size(), state.v.size(), m_.size()));
+  }
+  for (size_t k = 0; k < m_.size(); ++k) {
+    if (state.m[k].size() != m_[k].size() ||
+        state.v[k].size() != v_[k].size()) {
+      return Status::InvalidArgument(
+          StrFormat("Adam state moment %zu has %zu/%zu entries, parameter "
+                    "has %zu",
+                    k, state.m[k].size(), state.v[k].size(), m_[k].size()));
+    }
+  }
+  t_ = state.t;
+  m_ = state.m;
+  v_ = state.v;
+  return Status::OK();
 }
 
 void Adam::Step() {

@@ -4,9 +4,20 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace sgcl {
+
+// Serializable Adam state: step counter plus first/second moments, one
+// vector per parameter in the optimizer's parameter order. Checkpointing
+// must capture this — resuming Adam with zeroed moments changes every
+// subsequent update, which breaks bitwise-reproducible resume.
+struct AdamState {
+  int64_t t = 0;
+  std::vector<std::vector<float>> m;
+  std::vector<std::vector<float>> v;
+};
 
 // Base class owning the parameter handles. Not copyable: optimizer state
 // (moments) is tied to the exact parameter tensors it was built with.
@@ -54,6 +65,13 @@ class Adam : public Optimizer {
   Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void Step() override;
+
+  // Copy of the full optimizer state for checkpointing.
+  AdamState ExportState() const;
+  // Replaces the state. InvalidArgument when `state` does not match this
+  // optimizer's parameter count or per-parameter sizes; on failure the
+  // current state is left untouched (no partial application).
+  Status ImportState(const AdamState& state);
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

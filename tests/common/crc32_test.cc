@@ -1,0 +1,47 @@
+#include "common/crc32.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The standard CRC-32 (IEEE 802.3) check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementalComputation) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t part1 = Crc32(data.data(), split);
+    const uint32_t chained =
+        Crc32(data.data() + split, data.size() - split, part1);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsEverySingleBitFlip) {
+  std::string data = "checkpoint payload bytes";
+  const uint32_t original = Crc32(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32(data), original)
+          << "undetected flip at byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+TEST(Crc32Test, DistinguishesPermutedContent) {
+  EXPECT_NE(Crc32("ab"), Crc32("ba"));
+  EXPECT_NE(Crc32(std::string("\0a", 2)), Crc32(std::string("a\0", 2)));
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,203 @@
+#include "common/fault.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+std::string TmpPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool Exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+TEST(FaultInjectorTest, DisarmedByDefault) {
+  ScopedFaultInjection scoped;
+  FaultInjector& faults = FaultInjector::Global();
+  EXPECT_FALSE(faults.enabled());
+  EXPECT_FALSE(faults.Check("io/write").has_value());
+  // Disarmed checks are not even counted (the fast path must do nothing).
+  EXPECT_EQ(faults.hits("io/write"), 0);
+  EXPECT_TRUE(faults.SeenPoints().empty());
+}
+
+TEST(FaultInjectorTest, NthHitFiresExactlyOnce) {
+  ScopedFaultInjection scoped;
+  FaultInjector& faults = FaultInjector::Global();
+  faults.Arm("io/write", FaultKind::kError, /*nth=*/2);
+  EXPECT_TRUE(faults.enabled());
+  EXPECT_FALSE(faults.Check("io/write").has_value());
+  auto fault = faults.Check("io/write");
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(*fault, FaultKind::kError);
+  EXPECT_FALSE(faults.Check("io/write").has_value());
+  EXPECT_EQ(faults.hits("io/write"), 3);
+}
+
+TEST(FaultInjectorTest, PointsAreIndependent) {
+  ScopedFaultInjection scoped;
+  FaultInjector& faults = FaultInjector::Global();
+  faults.Arm("io/fsync", FaultKind::kCrash);
+  EXPECT_FALSE(faults.Check("io/write").has_value());
+  auto fault = faults.Check("io/fsync");
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(*fault, FaultKind::kCrash);
+  const std::vector<std::string> seen = faults.SeenPoints();
+  EXPECT_EQ(seen, (std::vector<std::string>{"io/fsync", "io/write"}));
+}
+
+TEST(FaultInjectorTest, MultipleArmsOnOnePoint) {
+  ScopedFaultInjection scoped;
+  FaultInjector& faults = FaultInjector::Global();
+  faults.Arm("p", FaultKind::kError, 1);
+  faults.Arm("p", FaultKind::kShortWrite, 3);
+  EXPECT_EQ(faults.Check("p"), FaultKind::kError);
+  EXPECT_FALSE(faults.Check("p").has_value());
+  EXPECT_EQ(faults.Check("p"), FaultKind::kShortWrite);
+  EXPECT_FALSE(faults.Check("p").has_value());
+}
+
+TEST(FaultInjectorTest, ResetDisarms) {
+  FaultInjector& faults = FaultInjector::Global();
+  faults.Arm("p", FaultKind::kError, 1);
+  faults.Reset();
+  EXPECT_FALSE(faults.enabled());
+  EXPECT_FALSE(faults.Check("p").has_value());
+  EXPECT_EQ(faults.hits("p"), 0);
+}
+
+TEST(FaultInjectorTest, ArmRandomIsDeterministicPerSeed) {
+  FaultInjector& faults = FaultInjector::Global();
+  auto run_schedule = [&](uint64_t seed) {
+    std::vector<bool> fired;
+    faults.Reset();
+    faults.ArmRandom(0.5, seed, FaultKind::kError);
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(faults.Check("sweep/point").has_value());
+    }
+    faults.Reset();
+    return fired;
+  };
+  const auto first = run_schedule(7);
+  const auto second = run_schedule(7);
+  EXPECT_EQ(first, second);
+  // A fair coin over 64 draws fires at least once for any sane seed.
+  EXPECT_NE(first, std::vector<bool>(64, false));
+  EXPECT_NE(first, run_schedule(8));
+}
+
+TEST(FaultInjectorTest, SimulatedCrashSentinelRoundTrips) {
+  const Status crash = SimulatedCrash("io/rename");
+  EXPECT_FALSE(crash.ok());
+  EXPECT_TRUE(IsSimulatedCrash(crash));
+  EXPECT_NE(crash.message().find("io/rename"), std::string::npos);
+  EXPECT_FALSE(IsSimulatedCrash(Status::OK()));
+  EXPECT_FALSE(IsSimulatedCrash(Status::Internal("disk on fire")));
+}
+
+TEST(FaultInjectorTest, FaultKindNames) {
+  EXPECT_STREQ(FaultKindToString(FaultKind::kError), "error");
+  EXPECT_STREQ(FaultKindToString(FaultKind::kShortWrite), "short-write");
+  EXPECT_STREQ(FaultKindToString(FaultKind::kCrash), "crash");
+}
+
+TEST(AtomicWriteFileTest, WritesAndOverwrites) {
+  ScopedFaultInjection scoped;
+  const std::string path = TmpPath("atomic_write_basic.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "first contents").ok());
+  EXPECT_EQ(Slurp(path), "first contents");
+  ASSERT_TRUE(AtomicWriteFile(path, "second").ok());
+  EXPECT_EQ(Slurp(path), "second");
+  EXPECT_FALSE(Exists(path + ".tmp"));
+}
+
+TEST(AtomicWriteFileTest, InjectedWriteErrorPreservesOldFile) {
+  ScopedFaultInjection scoped;
+  const std::string path = TmpPath("atomic_write_eio.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "old").ok());
+  FaultInjector::Global().Arm("io/write", FaultKind::kError);
+  const Status st = AtomicWriteFile(path, "new");
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(IsSimulatedCrash(st));
+  EXPECT_EQ(Slurp(path), "old");
+  EXPECT_FALSE(Exists(path + ".tmp"));
+}
+
+TEST(AtomicWriteFileTest, ShortWriteLeavesTornTempOnly) {
+  ScopedFaultInjection scoped;
+  const std::string path = TmpPath("atomic_write_torn.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "old").ok());
+  FaultInjector::Global().Arm("io/write", FaultKind::kShortWrite);
+  const Status st = AtomicWriteFile(path, "0123456789");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(Slurp(path), "old");
+  // The torn prefix is visible under the temp name, as after a real
+  // torn write — and never under the final name.
+  EXPECT_EQ(Slurp(path + ".tmp"), "01234");
+}
+
+TEST(AtomicWriteFileTest, CrashBeforeRenamePreservesOldFile) {
+  for (const char* point : {"io/open_tmp", "io/write", "io/fsync"}) {
+    ScopedFaultInjection scoped;
+    const std::string path = TmpPath("atomic_write_crash.bin");
+    ASSERT_TRUE(AtomicWriteFile(path, "old").ok());
+    FaultInjector::Global().Arm(point, FaultKind::kCrash);
+    const Status st = AtomicWriteFile(path, "new");
+    EXPECT_TRUE(IsSimulatedCrash(st)) << point;
+    EXPECT_EQ(Slurp(path), "old") << point;
+  }
+}
+
+TEST(AtomicWriteFileTest, CrashAtRenameLeavesOldOrNewNeverTorn) {
+  ScopedFaultInjection scoped;
+  const std::string path = TmpPath("atomic_write_crash_rename.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "old").ok());
+  FaultInjector::Global().Arm("io/rename", FaultKind::kCrash);
+  const Status st = AtomicWriteFile(path, "new");
+  EXPECT_TRUE(IsSimulatedCrash(st));
+  // Died just before rename: the published file is still the old one,
+  // the complete new bytes sit under the temp name.
+  EXPECT_EQ(Slurp(path), "old");
+  EXPECT_EQ(Slurp(path + ".tmp"), "new");
+}
+
+TEST(AtomicWriteFileTest, CrashAfterRenameKeepsNewFile) {
+  ScopedFaultInjection scoped;
+  const std::string path = TmpPath("atomic_write_crash_fsync_dir.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "old").ok());
+  FaultInjector::Global().Arm("io/fsync_dir", FaultKind::kCrash);
+  const Status st = AtomicWriteFile(path, "new");
+  EXPECT_TRUE(IsSimulatedCrash(st));
+  EXPECT_EQ(Slurp(path), "new");
+}
+
+TEST(AtomicWriteFileTest, InjectedRenameAndFsyncErrors) {
+  for (const char* point : {"io/open_tmp", "io/fsync", "io/rename"}) {
+    ScopedFaultInjection scoped;
+    const std::string path = TmpPath("atomic_write_err.bin");
+    ASSERT_TRUE(AtomicWriteFile(path, "old").ok());
+    FaultInjector::Global().Arm(point, FaultKind::kError);
+    const Status st = AtomicWriteFile(path, "new");
+    EXPECT_FALSE(st.ok()) << point;
+    EXPECT_EQ(Slurp(path), "old") << point;
+    EXPECT_FALSE(Exists(path + ".tmp")) << point;
+  }
+}
+
+}  // namespace
+}  // namespace sgcl

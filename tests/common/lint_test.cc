@@ -259,6 +259,59 @@ TEST(LintR5Test, SilentOnDeletedFunctionsAndSmartPointers) {
   EXPECT_TRUE(LintSnippet("src/core/e.cc", kR5Clean).empty());
 }
 
+// ---- sgcl-R6: raw writes in checkpoint paths -------------------------
+
+constexpr char kR6Fires[] = R"(
+void Save(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out << bytes;
+}
+)";
+
+constexpr char kR6FiresCstdio[] = R"(
+void Save(const char* path, const char* data, size_t n) {
+  FILE* f = fopen(path, "wb");
+  fwrite(data, 1, n, f);
+}
+)";
+
+constexpr char kR6Clean[] = R"(
+Status Save(const std::string& path, const std::string& bytes) {
+  return AtomicWriteFile(path, bytes);
+}
+Result<std::string> Load(const std::string& path) {
+  std::string bytes;
+  SGCL_RETURN_NOT_OK(ReadFileToString(path, &bytes));
+  return bytes;
+}
+)";
+
+TEST(LintR6Test, FiresOnRawOfstreamInCheckpointSources) {
+  const auto findings = LintSnippet("src/core/train_state.cc", kR6Fires);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "sgcl-R6");
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_NE(findings[0].message.find("AtomicWriteFile"), std::string::npos);
+}
+
+TEST(LintR6Test, FiresOnFopenAndFwrite) {
+  const auto findings = LintSnippet("src/nn/checkpoint.cc", kR6FiresCstdio);
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "sgcl-R6");
+}
+
+TEST(LintR6Test, SilentOnAtomicWritePathAndReads) {
+  EXPECT_TRUE(LintSnippet("src/nn/checkpoint.cc", kR6Clean).empty());
+}
+
+TEST(LintR6Test, NonCheckpointAndTestFilesAreExempt) {
+  // Same raw write elsewhere in the tree: not a checkpoint path.
+  EXPECT_TRUE(LintSnippet("src/common/io.cc", kR6Fires).empty());
+  // Corruption tests write torn checkpoint files on purpose.
+  EXPECT_TRUE(
+      LintSnippet("tests/core/train_state_test.cc", kR6Fires).empty());
+}
+
 // ---- suppression and allowlist ---------------------------------------
 
 TEST(LintSuppressionTest, InlineNolintSilencesNamedRule) {

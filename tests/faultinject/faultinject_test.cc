@@ -1,0 +1,227 @@
+// Kill-and-resume integration tests (ctest label: faultinject).
+//
+// A checkpointed pretraining run is crashed deterministically at every
+// injection point in the save path, then resumed in a fresh trainer.
+// The contract under test is the ISSUE's acceptance criterion: a crash
+// at *any* point leaves the newest published checkpoint loadable, and
+// the resumed run's per-epoch losses are bitwise identical to an
+// uninterrupted run with the same seed.
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "core/sgcl_trainer.h"
+#include "core/train_state.h"
+#include "data/synthetic_tu.h"
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+constexpr uint64_t kTrainSeed = 17;
+constexpr int kEpochs = 4;
+
+std::string TmpDir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+GraphDataset SmallDataset() {
+  SyntheticTuOptions opt;
+  opt.graph_fraction = 0.05;  // ~20 MUTAG-like graphs
+  opt.node_cap = 20;
+  opt.seed = 21;
+  return MakeTuDataset(TuDataset::kMutag, opt);
+}
+
+SgclConfig SmallConfig(int64_t feat_dim) {
+  SgclConfig cfg = MakeUnsupervisedConfig(feat_dim);
+  cfg.encoder.hidden_dim = 8;
+  cfg.encoder.num_layers = 2;
+  cfg.proj_dim = 8;
+  cfg.batch_size = 8;
+  cfg.epochs = kEpochs;
+  return cfg;
+}
+
+// The ground truth: one uninterrupted run, no checkpointing.
+PretrainStats BaselineStats(const GraphDataset& ds) {
+  SgclTrainer trainer(SmallConfig(ds.feat_dim()), kTrainSeed);
+  auto stats = trainer.Pretrain(ds);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(static_cast<int>(stats->epoch_losses.size()), kEpochs);
+  return *stats;
+}
+
+// Every *.sgcl file under `dir` (the published, non-temp names) must
+// parse: a crash may abandon a ".tmp" orphan but never a torn
+// checkpoint under the final name. Returns the published count.
+int ExpectAllPublishedCheckpointsLoadable(const std::string& dir) {
+  int published = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".sgcl") continue;
+    ++published;
+    auto state = LoadTrainCheckpoint(entry.path().string());
+    EXPECT_TRUE(state.ok()) << name << ": " << state.status().ToString();
+  }
+  return published;
+}
+
+class CrashPointTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrashPointTest, CrashLeavesLoadableCheckpointAndBitwiseResume) {
+  const char* point = GetParam();
+  GraphDataset ds = SmallDataset();
+  const PretrainStats baseline = BaselineStats(ds);
+  const std::string dir = TmpDir(std::string("crash_") +
+                                 std::filesystem::path(point).filename()
+                                     .string());
+
+  // Run with a crash armed at the second save attempt (after epoch 1),
+  // so one complete checkpoint (after epoch 0) is already published.
+  Status crash;
+  {
+    ScopedFaultInjection scoped;
+    FaultInjector::Global().Arm(point, FaultKind::kCrash, /*nth=*/2);
+    SgclTrainer trainer(SmallConfig(ds.feat_dim()), kTrainSeed);
+    PretrainOptions options;
+    options.checkpoint_dir = dir;
+    options.checkpoint_every = 1;
+    auto stats = trainer.Pretrain(ds, {}, options);
+    ASSERT_FALSE(stats.ok()) << point;
+    crash = stats.status();
+  }
+  EXPECT_TRUE(IsSimulatedCrash(crash)) << crash.ToString();
+  EXPECT_GT(ExpectAllPublishedCheckpointsLoadable(dir), 0)
+      << "no published checkpoint in " << dir;
+
+  // "Reboot": a fresh trainer (different seed — every bit of resumed
+  // state must come from the checkpoint) resumes from the latest
+  // published file and finishes the run.
+  auto latest = FindLatestCheckpoint(dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  SgclTrainer resumed(SmallConfig(ds.feat_dim()), /*seed=*/9999);
+  PretrainOptions options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 1;
+  options.resume_from = *latest;
+  auto stats = resumed.Pretrain(ds, {}, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->epoch_losses.size(), baseline.epoch_losses.size());
+  for (size_t e = 0; e < baseline.epoch_losses.size(); ++e) {
+    EXPECT_EQ(stats->epoch_losses[e], baseline.epoch_losses[e])
+        << "epoch " << e << " diverged after crash at " << point;
+  }
+  EXPECT_EQ(stats->total_batches, baseline.total_batches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInjectionPoints, CrashPointTest,
+    ::testing::Values("checkpoint/serialize", "io/open_tmp", "io/write",
+                      "io/fsync", "io/rename", "io/fsync_dir"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '/') c = '_';
+      }
+      return name;
+    });
+
+TEST(FaultInjectTest, CrashDuringPruneKeepsNewestCheckpoint) {
+  GraphDataset ds = SmallDataset();
+  const std::vector<float> baseline = BaselineStats(ds).epoch_losses;
+  const std::string dir = TmpDir("crash_prune");
+  {
+    ScopedFaultInjection scoped;
+    // keep_last=1 makes the prune after the second save delete the
+    // first; crash inside that deletion pass.
+    FaultInjector::Global().Arm("checkpoint/prune", FaultKind::kCrash);
+    SgclTrainer trainer(SmallConfig(ds.feat_dim()), kTrainSeed);
+    PretrainOptions options;
+    options.checkpoint_dir = dir;
+    options.checkpoint_every = 1;
+    options.checkpoint_keep_last = 1;
+    auto stats = trainer.Pretrain(ds, {}, options);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_TRUE(IsSimulatedCrash(stats.status()));
+  }
+  // The newest checkpoint was published before the prune crashed.
+  auto latest = FindLatestCheckpoint(dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  SgclTrainer resumed(SmallConfig(ds.feat_dim()), 31337);
+  PretrainOptions options;
+  options.resume_from = *latest;
+  auto stats = resumed.Pretrain(ds, {}, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->epoch_losses, baseline);
+}
+
+TEST(FaultInjectTest, WriteErrorFailsRunButPreservesOldCheckpoints) {
+  GraphDataset ds = SmallDataset();
+  const std::string dir = TmpDir("eio_write");
+  ScopedFaultInjection scoped;
+  FaultInjector::Global().Arm("io/write", FaultKind::kError, /*nth=*/3);
+  SgclTrainer trainer(SmallConfig(ds.feat_dim()), kTrainSeed);
+  PretrainOptions options;
+  options.checkpoint_dir = dir;
+  options.checkpoint_every = 1;
+  auto stats = trainer.Pretrain(ds, {}, options);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_FALSE(IsSimulatedCrash(stats.status()));
+  // The two checkpoints published before the EIO are intact.
+  ExpectAllPublishedCheckpointsLoadable(dir);
+  auto latest = FindLatestCheckpoint(dir);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, CheckpointFileName(dir, 2));
+}
+
+// Randomized kill-and-resume: seeded Bernoulli crashes at every
+// injection point, rebooting from the latest checkpoint after each
+// crash until the run completes. However many times it dies, the final
+// loss history must be the baseline's, bit for bit.
+TEST(FaultInjectTest, RandomCrashSweepConvergesToBaseline) {
+  GraphDataset ds = SmallDataset();
+  const std::vector<float> baseline = BaselineStats(ds).epoch_losses;
+  const std::string dir = TmpDir("random_sweep");
+  ScopedFaultInjection scoped;
+  FaultInjector& faults = FaultInjector::Global();
+  int crashes = 0;
+  bool finished = false;
+  for (int attempt = 0; attempt < 64 && !finished; ++attempt) {
+    faults.Reset();
+    faults.ArmRandom(/*probability=*/0.05, /*seed=*/7000 + attempt,
+                     FaultKind::kCrash);
+    auto latest = FindLatestCheckpoint(dir);
+    // Fresh starts must replay the baseline seed; on resume the seed is
+    // irrelevant (all state comes from the checkpoint), so use a
+    // different one to prove exactly that.
+    const uint64_t seed = latest.ok() ? 1000 + attempt : kTrainSeed;
+    SgclTrainer trainer(SmallConfig(ds.feat_dim()), seed);
+    PretrainOptions options;
+    options.checkpoint_dir = dir;
+    options.checkpoint_every = 1;
+    if (latest.ok()) options.resume_from = *latest;
+    auto stats = trainer.Pretrain(ds, {}, options);
+    if (stats.ok()) {
+      EXPECT_EQ(stats->epoch_losses, baseline);
+      finished = true;
+      break;
+    }
+    ASSERT_TRUE(IsSimulatedCrash(stats.status()))
+        << stats.status().ToString();
+    ++crashes;
+    ExpectAllPublishedCheckpointsLoadable(dir);
+  }
+  faults.Reset();
+  EXPECT_TRUE(finished) << "never completed within 64 attempts";
+  // The sweep is deterministic (seeded), so this documents that the
+  // schedule actually exercised the crash path.
+  EXPECT_GT(crashes, 0);
+}
+
+}  // namespace
+}  // namespace sgcl

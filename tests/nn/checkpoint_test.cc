@@ -1,10 +1,14 @@
 #include "nn/checkpoint.h"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
+#include "common/io.h"
 #include "core/sgcl_model.h"
 #include "gtest/gtest.h"
 #include "nn/encoder.h"
+#include "nn/linear.h"
 #include "test_util.h"
 
 namespace sgcl {
@@ -12,6 +16,13 @@ namespace {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 EncoderConfig SmallConfig() {
@@ -92,6 +103,106 @@ TEST(CheckpointTest, GarbageFileRejected) {
   GnnEncoder enc(SmallConfig(), &rng);
   Status st = LoadCheckpoint(path, &enc);
   EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
+}
+
+// Backward compat: a v1 file written by the original (pre-section)
+// format, committed as a golden binary. The expected float values are
+// baked into the file, so this fails if the v1 parse path drifts.
+TEST(CheckpointTest, GoldenV1FileStillLoads) {
+  const std::string path =
+      std::string(SGCL_TESTDATA_DIR) + "/checkpoint_v1_linear_2x3.ckpt";
+  Rng rng(11);
+  Linear linear(2, 3, &rng);
+  ASSERT_TRUE(LoadCheckpoint(path, &linear).ok());
+  const std::vector<float> expected_weight = {0.1f, 0.2f, 0.3f,
+                                              0.4f, 0.5f, 0.6f};
+  const std::vector<float> expected_bias = {1.5f, -2.25f, 0.125f};
+  EXPECT_EQ(linear.weight().values(), expected_weight);
+  EXPECT_EQ(linear.bias().values(), expected_bias);
+}
+
+TEST(CheckpointTest, GoldenV1ShapeMismatchDoesNotPartiallyApply) {
+  const std::string path =
+      std::string(SGCL_TESTDATA_DIR) + "/checkpoint_v1_linear_2x3.ckpt";
+  Rng rng(12);
+  // The golden file holds two tensors; a bias-free Linear expects one.
+  // The count check must fire before any tensor is applied, leaving the
+  // (shape-compatible) weight untouched.
+  Linear mismatched(2, 3, &rng, /*use_bias=*/false);
+  const std::vector<float> before = mismatched.weight().values();
+  Status st = LoadCheckpoint(path, &mismatched);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(mismatched.weight().values(), before);
+}
+
+TEST(CheckpointTest, SaveWritesV2AndMidFileMismatchIsAtomic) {
+  const std::string path = TempPath("atomic_apply.ckpt");
+  Rng rng(13);
+  GnnEncoder a(SmallConfig(), &rng);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  // The first parameters of a GIN encoder with equal hidden_dim but more
+  // layers agree in shape; the tensor-count check must reject the load
+  // before any tensor is applied.
+  EncoderConfig deeper = SmallConfig();
+  deeper.num_layers = 3;
+  GnnEncoder b(deeper, &rng);
+  const std::vector<float> before = b.Parameters()[0].values();
+  Status st = LoadCheckpoint(path, &b);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(b.Parameters()[0].values(), before);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncationAtEverySectionBoundaryRejected) {
+  const std::string path = TempPath("trunc_src.ckpt");
+  Rng rng(14);
+  GnnEncoder enc(SmallConfig(), &rng);
+  ASSERT_TRUE(SaveCheckpoint(enc, path).ok());
+  const std::string bytes = SlurpFile(path);
+  ASSERT_GT(bytes.size(), 16u);
+  // Boundaries of the v2 container: after magic, after version, after
+  // the section count, after the section header, and just before the
+  // trailing CRC.
+  const size_t boundaries[] = {0, 4, 8, 12, 24, bytes.size() - 4,
+                               bytes.size() - 1};
+  for (size_t cut : boundaries) {
+    const std::string trunc_path = TempPath("trunc.ckpt");
+    ASSERT_TRUE(AtomicWriteFile(trunc_path, bytes.substr(0, cut)).ok());
+    GnnEncoder target(SmallConfig(), &rng);
+    EXPECT_FALSE(LoadCheckpoint(trunc_path, &target).ok())
+        << "accepted " << cut << " of " << bytes.size() << " bytes";
+    std::remove(trunc_path.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, CrcCatchesPayloadBitFlip) {
+  const std::string path = TempPath("bitflip.ckpt");
+  Rng rng(15);
+  GnnEncoder enc(SmallConfig(), &rng);
+  ASSERT_TRUE(SaveCheckpoint(enc, path).ok());
+  std::string bytes = SlurpFile(path);
+  bytes[bytes.size() / 2] ^= 0x04;  // mid-payload
+  ASSERT_TRUE(AtomicWriteFile(path, bytes).ok());
+  GnnEncoder target(SmallConfig(), &rng);
+  Status st = LoadCheckpoint(path, &target);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("CRC"), std::string::npos) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, UnsupportedVersionRejected) {
+  const std::string path = TempPath("future.ckpt");
+  Rng rng(16);
+  GnnEncoder enc(SmallConfig(), &rng);
+  ASSERT_TRUE(SaveCheckpoint(enc, path).ok());
+  std::string bytes = SlurpFile(path);
+  bytes[4] = 7;  // version 7
+  ASSERT_TRUE(AtomicWriteFile(path, bytes).ok());
+  Status st = LoadCheckpoint(path, &enc);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("version"), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -202,6 +202,126 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// ---------- Lipschitz generator invariants over random graphs -----------
+
+// Random connected graph: spanning-tree backbone plus Bernoulli extra
+// edges, Gaussian features.
+Graph RandomConnectedGraph(Rng* rng, int64_t num_nodes, int64_t feat_dim) {
+  Graph g(num_nodes, feat_dim);
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    for (int64_t j = 0; j < feat_dim; ++j) {
+      g.set_feature(v, j, static_cast<float>(rng->Normal(0.0, 0.6)));
+    }
+  }
+  for (int64_t v = 1; v < num_nodes; ++v) {
+    g.AddUndirectedEdge(rng->UniformInt(v), v);
+  }
+  for (int64_t a = 0; a < num_nodes; ++a) {
+    for (int64_t b = a + 1; b < num_nodes; ++b) {
+      if (rng->Bernoulli(0.15)) g.AddUndirectedEdge(a, b);
+    }
+  }
+  return g;
+}
+
+GnnEncoder RandomEncoder(Rng* rng, int64_t feat_dim) {
+  EncoderConfig cfg;
+  cfg.arch = GnnArch::kGin;
+  cfg.in_dim = feat_dim;
+  cfg.hidden_dim = 8;
+  cfg.num_layers = 2;
+  return GnnEncoder(cfg, rng);
+}
+
+class LipschitzSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LipschitzSweepTest, ConstantsNonNegativeAndFiniteInBothModes) {
+  Rng rng(300 + GetParam());
+  const int64_t n = rng.UniformInt(4, 14);
+  Graph g = RandomConnectedGraph(&rng, n, 3);
+  GnnEncoder enc = RandomEncoder(&rng, 3);
+  for (LipschitzMode mode :
+       {LipschitzMode::kExact, LipschitzMode::kAttentionApprox}) {
+    LipschitzGenerator gen(&enc, mode);
+    const std::vector<float> k = gen.ComputeConstants(g);
+    ASSERT_EQ(static_cast<int64_t>(k.size()), n);
+    for (float v : k) {
+      ASSERT_TRUE(std::isfinite(v));
+      ASSERT_GE(v, 0.0f);
+    }
+  }
+}
+
+TEST_P(LipschitzSweepTest, ConstantsAreNodePermutationEquivariant) {
+  Rng rng(400 + GetParam());
+  const int64_t n = rng.UniformInt(4, 12);
+  Graph g = RandomConnectedGraph(&rng, n, 3);
+  // Random relabeling pi; pg is g with node v renamed pi(v).
+  std::vector<int64_t> pi(n);
+  std::iota(pi.begin(), pi.end(), 0);
+  rng.Shuffle(&pi);
+  Graph pg(n, 3);
+  for (int64_t v = 0; v < n; ++v) {
+    for (int64_t j = 0; j < 3; ++j) pg.set_feature(pi[v], j, g.feature(v, j));
+  }
+  for (size_t e = 0; e < g.edge_src().size(); ++e) {
+    if (g.edge_src()[e] < g.edge_dst()[e]) {
+      pg.AddUndirectedEdge(pi[g.edge_src()[e]], pi[g.edge_dst()[e]]);
+    }
+  }
+  GnnEncoder enc = RandomEncoder(&rng, 3);
+  for (LipschitzMode mode :
+       {LipschitzMode::kExact, LipschitzMode::kAttentionApprox}) {
+    LipschitzGenerator gen(&enc, mode);
+    const std::vector<float> k = gen.ComputeConstants(g);
+    const std::vector<float> pk = gen.ComputeConstants(pg);
+    ASSERT_EQ(k.size(), pk.size());
+    for (int64_t v = 0; v < n; ++v) {
+      EXPECT_NEAR(k[v], pk[pi[v]], 2e-3f)
+          << "node " << v << " mode "
+          << (mode == LipschitzMode::kExact ? "exact" : "approx");
+    }
+  }
+}
+
+TEST_P(LipschitzSweepTest, BatchedExactMatchesPerNodeReference) {
+  Rng rng(500 + GetParam());
+  const int64_t n = rng.UniformInt(4, 16);
+  Graph g = RandomConnectedGraph(&rng, n, 3);
+  GnnEncoder enc = RandomEncoder(&rng, 3);
+  // Small max_view_nodes forces several block-diagonal chunks even on
+  // these small graphs, so the chunking logic is actually exercised.
+  LipschitzGenerator batched(&enc, LipschitzMode::kExact,
+                             /*max_view_nodes=*/3 * n);
+  const std::vector<float> fast = batched.ComputeConstants(g);
+  const std::vector<float> golden = batched.ExactConstantsReference(g);
+  ASSERT_EQ(fast.size(), golden.size());
+  for (size_t v = 0; v < golden.size(); ++v) {
+    EXPECT_NEAR(fast[v], golden[v], 1e-3f) << "node " << v;
+  }
+}
+
+TEST_P(LipschitzSweepTest, MultiGraphBatchMatchesPerGraphCalls) {
+  Rng rng(600 + GetParam());
+  Graph a = RandomConnectedGraph(&rng, rng.UniformInt(4, 10), 3);
+  Graph b = RandomConnectedGraph(&rng, rng.UniformInt(4, 10), 3);
+  GnnEncoder enc = RandomEncoder(&rng, 3);
+  LipschitzGenerator gen(&enc, LipschitzMode::kExact);
+  std::vector<float> joint = gen.ComputeConstants({&a, &b});
+  std::vector<float> ka = gen.ComputeConstants(a);
+  std::vector<float> kb = gen.ComputeConstants(b);
+  ASSERT_EQ(joint.size(), ka.size() + kb.size());
+  for (size_t v = 0; v < ka.size(); ++v) {
+    EXPECT_NEAR(joint[v], ka[v], 1e-4f);
+  }
+  for (size_t v = 0; v < kb.size(); ++v) {
+    EXPECT_NEAR(joint[ka.size() + v], kb[v], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, LipschitzSweepTest,
+                         ::testing::Range(0, 6));
+
 // ---------- Metric identities over random inputs ------------------------
 
 class AucPropertyTest : public ::testing::TestWithParam<int> {};

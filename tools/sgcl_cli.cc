@@ -5,7 +5,9 @@
 //   sgcl_cli pretrain  --data=ds.bin --out=model.ckpt [--epochs=N]
 //                      [--arch=gin|gcn|gat|sage] [--hidden=H] [--layers=L]
 //                      [--batch=B] [--seed=S] [--metrics-out=metrics.jsonl]
-//                      [--trace-out=trace.json]
+//                      [--trace-out=trace.json] [--checkpoint-dir=DIR]
+//                      [--checkpoint-every=K] [--checkpoint-keep=N]
+//                      [--resume]
 //   sgcl_cli evaluate  --data=ds.bin --model=model.ckpt [--folds=K]
 //   sgcl_cli scores    --data=ds.bin --model=model.ckpt [--graph=I]
 //   sgcl_cli bench     [--data=ds.bin] [--epochs=N] [--graphs=N]
@@ -31,6 +33,12 @@
 // exports of a run correlate. Sink paths are validated up front: an
 // unwritable --metrics-out/--trace-out/--log-json fails before any
 // training work starts.
+//
+// Crash safety (pretrain): --checkpoint-dir saves an atomic training
+// checkpoint every --checkpoint-every epochs (keeping the newest
+// --checkpoint-keep); --resume restarts from the latest checkpoint in
+// that directory — or from scratch when there is none — and replays the
+// remaining epochs with bitwise-identical losses (core/train_state.h).
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -46,6 +54,7 @@
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/sgcl_trainer.h"
+#include "core/train_state.h"
 #include "data/synthetic_tu.h"
 #include "eval/cross_validation.h"
 #include "eval/table.h"
@@ -149,6 +158,56 @@ struct ObservabilityFlags {
   }
 };
 
+// Checkpoint/resume wiring for pretrain (core/train_state.h).
+struct CheckpointFlags {
+  std::string dir;
+  int every = 1;
+  int keep = 3;
+  bool resume = false;
+
+  void Register(FlagSet* flags) {
+    flags->String("checkpoint-dir", &dir,
+                  "save an atomic training checkpoint into this directory "
+                  "(created if missing); empty disables checkpointing");
+    flags->Int("checkpoint-every", &every,
+               "save a checkpoint every K completed epochs (the final "
+               "epoch is always checkpointed)");
+    flags->Int("checkpoint-keep", &keep,
+               "retain only the N newest checkpoints; 0 keeps all");
+    flags->Bool("resume", &resume,
+                "resume from the latest checkpoint in --checkpoint-dir "
+                "(starts fresh when the directory has none)");
+  }
+
+  // Fills PretrainOptions' checkpoint fields, resolving --resume to a
+  // concrete checkpoint path. A missing directory or empty directory
+  // with --resume starts fresh; any other lookup failure is an error.
+  Status Apply(PretrainOptions* options) const {
+    if (dir.empty()) {
+      if (resume) {
+        return Status::InvalidArgument(
+            "--resume requires --checkpoint-dir");
+      }
+      return Status::OK();
+    }
+    options->checkpoint_dir = dir;
+    options->checkpoint_every = every;
+    options->checkpoint_keep_last = keep;
+    if (resume) {
+      Result<std::string> latest = FindLatestCheckpoint(dir);
+      if (latest.ok()) {
+        options->resume_from = *latest;
+        std::printf("resuming from %s\n", latest->c_str());
+      } else if (latest.status().code() == StatusCode::kNotFound) {
+        std::printf("no checkpoint under %s, starting fresh\n", dir.c_str());
+      } else {
+        return latest.status();
+      }
+    }
+    return Status::OK();
+  }
+};
+
 // Detaches (but does not own) a log sink on scope exit, covering every
 // early-return path out of ObservedPretrain.
 struct LogSinkGuard {
@@ -189,7 +248,8 @@ Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
                                        const GraphDataset& dataset,
                                        const ObservabilityFlags& obs,
                                        const char* command, int total_epochs,
-                                       std::vector<EpochReport>* reports) {
+                                       std::vector<EpochReport>* reports,
+                                       const CheckpointFlags* ckpt = nullptr) {
   SetRunId(GenerateRunId());
   // Fail fast: every sink path is validated here, before training starts,
   // so a typo'd directory is a clean error instead of lost work at the
@@ -255,6 +315,14 @@ Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
                 report.total_epochs, report.mean_loss, report.seconds);
     std::fflush(stdout);
   };
+  if (ckpt != nullptr) {
+    SGCL_RETURN_NOT_OK(ckpt->Apply(&options));
+    options.on_checkpoint = [&](const CheckpointReport& report) {
+      board.RecordCheckpoint(report.path, report.seconds);
+      SGCL_LOG(INFO) << command << " checkpoint " << report.path << " ("
+                     << report.seconds << "s)";
+    };
+  }
   Result<PretrainStats> stats = trainer->Pretrain(dataset, {}, options);
   board.EndRun(stats.ok());
   SGCL_LOG(INFO) << command << " finished: run " << GetRunId()
@@ -344,12 +412,14 @@ int CmdPretrain(int argc, char** argv) {
   uint64_t seed = 1;
   ModelFlags model_flags;
   ObservabilityFlags obs;
+  CheckpointFlags ckpt;
   FlagSet flags("sgcl_cli pretrain");
   flags.String("data", &data, "dataset path");
   flags.String("out", &out, "output checkpoint path");
   flags.Uint64("seed", &seed, "training seed");
   model_flags.Register(&flags);
   obs.Register(&flags);
+  ckpt.Register(&flags);
   if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
     return rc;
   }
@@ -358,8 +428,8 @@ int CmdPretrain(int argc, char** argv) {
   auto cfg = model_flags.ToConfig(ds->feat_dim());
   if (!cfg.ok()) return Fail(cfg.status());
   SgclTrainer trainer(*cfg, seed);
-  auto stats =
-      ObservedPretrain(&trainer, *ds, obs, "pretrain", cfg->epochs, nullptr);
+  auto stats = ObservedPretrain(&trainer, *ds, obs, "pretrain", cfg->epochs,
+                                nullptr, &ckpt);
   if (!stats.ok()) return Fail(stats.status());
   std::printf("pretrained %d epochs: loss %.4f -> %.4f\n", cfg->epochs,
               stats->epoch_losses.front(), stats->epoch_losses.back());
