@@ -7,24 +7,29 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 
 namespace sgcl {
 namespace {
 
-// A request (start line + headers) larger than this is rejected; bodies
-// are ignored entirely (GET/HEAD have none we care about).
-constexpr size_t kMaxRequestBytes = 8192;
-// Per-socket recv/send deadline so one stalled client cannot hold the
-// single-threaded accept loop hostage.
-constexpr int kSocketTimeoutSec = 5;
+// A request's start line + headers larger than this is rejected with
+// 431; bodies are bounded separately by HttpServerOptions.
+constexpr size_t kMaxHeaderBytes = 8192;
+// Send deadline so one stalled reader cannot hold a serving thread.
+constexpr int kSendTimeoutSec = 5;
 
 const char* StatusText(int status) {
   switch (status) {
+    case 100:
+      return "Continue";
     case 200:
       return "OK";
     case 400:
@@ -33,19 +38,32 @@ const char* StatusText(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
     case 431:
       return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Error";
   }
 }
 
-void SetSocketTimeouts(int fd) {
+void SetRecvTimeout(int fd, int timeout_ms) {
   struct timeval tv;
-  tv.tv_sec = kSocketTimeoutSec;
-  tv.tv_usec = 0;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  struct timeval snd;
+  snd.tv_sec = kSendTimeoutSec;
+  snd.tv_usec = 0;
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof(snd));
 }
 
 // Writes all of `data`, tolerating short writes; best-effort (the client
@@ -60,18 +78,126 @@ void SendAll(int fd, const std::string& data) {
   }
 }
 
+// Graceful teardown for connections whose request stream was not fully
+// consumed (oversized/truncated bodies, malformed heads). Closing with
+// unread data pending makes the kernel send RST, which can destroy the
+// in-flight error response before the client reads it; half-closing the
+// write side and draining until EOF (bounded; SO_RCVTIMEO still applies)
+// lets the response land first.
+void ShutdownDrain(int fd) {
+  shutdown(fd, SHUT_WR);
+  char drain[4096];
+  size_t drained = 0;
+  constexpr size_t kMaxDrainBytes = 4u << 20;
+  while (drained < kMaxDrainBytes) {
+    const ssize_t n = recv(fd, drain, sizeof(drain), 0);
+    if (n <= 0) break;
+    drained += static_cast<size_t>(n);
+  }
+}
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Locates the end of the header block; supports \r\n\r\n and bare \n\n.
+// Returns npos when incomplete; *body_start is the offset just past it.
+size_t FindHeaderEnd(const std::string& buf, size_t* body_start) {
+  const size_t crlf = buf.find("\r\n\r\n");
+  const size_t lf = buf.find("\n\n");
+  if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+    *body_start = crlf + 4;
+    return crlf;
+  }
+  if (lf != std::string::npos) {
+    *body_start = lf + 2;
+    return lf;
+  }
+  return std::string::npos;
+}
+
+struct ParsedHead {
+  HttpRequest request;
+  std::string version;  // "HTTP/1.1", "HTTP/1.0", or empty when absent
+  bool ok = false;
+};
+
+ParsedHead ParseHead(const std::string& head) {
+  ParsedHead out;
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= head.size()) {
+    size_t nl = head.find('\n', pos);
+    if (nl == std::string::npos) nl = head.size();
+    std::string line = head.substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(std::move(line));
+    if (nl == head.size()) break;
+    pos = nl + 1;
+  }
+  if (lines.empty()) return out;
+
+  // Request line: METHOD SP target [SP version].
+  const std::string& line = lines[0];
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return out;
+  out.request.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out.version = line.substr(sp2 + 1);
+  const size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    out.request.query = target.substr(qmark + 1);
+    target.resize(qmark);
+  }
+  if (target.empty() || target[0] != '/') return out;
+  out.request.path = target;
+
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const size_t colon = lines[i].find(':');
+    if (colon == std::string::npos) return out;  // malformed header line
+    out.request.headers[ToLower(Trim(lines[i].substr(0, colon)))] =
+        Trim(lines[i].substr(colon + 1));
+  }
+  out.ok = true;
+  return out;
+}
+
 }  // namespace
 
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Handle(const std::string& path, HttpHandler handler) {
-  handlers_[path] = std::move(handler);
+  handlers_[path]["GET"] = std::move(handler);
 }
 
-Status HttpServer::Start(int port) {
+void HttpServer::Handle(const std::string& method, const std::string& path,
+                        HttpHandler handler) {
+  handlers_[path][method] = std::move(handler);
+}
+
+Status HttpServer::Start(int port) { return Start(port, HttpServerOptions{}); }
+
+Status HttpServer::Start(int port, const HttpServerOptions& options) {
   if (running()) {
     return Status::InvalidArgument("HttpServer already running");
   }
+  options_ = options;
+  options_.num_threads = std::max(1, options_.num_threads);
+  options_.idle_timeout_ms = std::max(1, options_.idle_timeout_ms);
+  options_.max_requests_per_connection =
+      std::max(1, options_.max_requests_per_connection);
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(StrFormat("socket() failed: %s", strerror(errno)));
@@ -90,7 +216,7 @@ Status HttpServer::Start(int port) {
     close(fd);
     return st;
   }
-  if (listen(fd, /*backlog=*/16) < 0) {
+  if (listen(fd, /*backlog=*/64) < 0) {
     const Status st =
         Status::Internal(StrFormat("listen() failed: %s", strerror(errno)));
     close(fd);
@@ -107,18 +233,22 @@ Status HttpServer::Start(int port) {
   listen_fd_ = fd;
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  threads_.reserve(static_cast<size_t>(options_.num_threads));
+  for (int i = 0; i < options_.num_threads; ++i) {
+    threads_.emplace_back([this] { AcceptLoop(); });
+  }
   return Status::OK();
 }
 
 void HttpServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
-  // shutdown() wakes a blocked accept() on Linux; the self-connect below
-  // covers platforms where it does not.
+  // shutdown() wakes blocked accept()s on Linux; the self-connects below
+  // cover platforms where it does not (one per serving thread).
   shutdown(listen_fd_, SHUT_RDWR);
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd >= 0) {
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
     struct sockaddr_in addr;
     std::memset(&addr, 0, sizeof(addr));
     addr.sin_family = AF_INET;
@@ -127,7 +257,16 @@ void HttpServer::Stop() {
     connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
     close(fd);
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
+  // Kick active (possibly keep-alive-idle) connections so their serving
+  // threads observe EOF promptly instead of waiting out the timeout.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : active_fds_) shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
   close(listen_fd_);
   listen_fd_ = -1;
 }
@@ -140,7 +279,7 @@ void HttpServer::AcceptLoop() {
       // Any other accept failure while stopping is the shutdown wakeup;
       // outside shutdown it is unrecoverable for this loop either way.
       if (!stopping_.load(std::memory_order_acquire)) {
-        SGCL_LOG(WARNING) << "telemetry accept() failed: " << strerror(errno);
+        SGCL_LOG(WARNING) << "http accept() failed: " << strerror(errno);
       }
       return;
     }
@@ -148,78 +287,181 @@ void HttpServer::AcceptLoop() {
       close(client_fd);
       return;
     }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      active_fds_.insert(client_fd);
+    }
     ServeConnection(client_fd);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      active_fds_.erase(client_fd);
+    }
     close(client_fd);
   }
 }
 
-void HttpServer::ServeConnection(int client_fd) {
-  SetSocketTimeouts(client_fd);
-  // Read until the end of the header block (or the size cap).
-  std::string request;
-  char buf[1024];
-  bool have_headers = false;
-  while (request.size() < kMaxRequestBytes) {
-    const ssize_t n = recv(client_fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    request.append(buf, static_cast<size_t>(n));
-    if (request.find("\r\n\r\n") != std::string::npos ||
-        request.find("\n\n") != std::string::npos) {
-      have_headers = true;
-      break;
-    }
-  }
-
+HttpResponse HttpServer::MakeError(int status,
+                                   const std::string& message) const {
   HttpResponse response;
-  HttpRequest parsed;
-  if (!have_headers) {
-    response.status = request.size() >= kMaxRequestBytes ? 431 : 400;
-    response.body = "bad request\n";
+  response.status = status;
+  if (options_.json_errors) {
+    response.content_type = "application/json";
+    response.body = StrFormat("{\"error\":{\"code\":%d,\"message\":\"%s\"}}\n",
+                              status, JsonEscape(message).c_str());
   } else {
-    // Request line: METHOD SP target SP version.
-    const size_t line_end = request.find_first_of("\r\n");
-    const std::string line = request.substr(0, line_end);
-    const size_t sp1 = line.find(' ');
-    const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
-    if (sp1 == std::string::npos || sp2 == std::string::npos) {
-      response.status = 400;
-      response.body = "malformed request line\n";
-    } else {
-      parsed.method = line.substr(0, sp1);
-      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-      const size_t qmark = target.find('?');
-      if (qmark != std::string::npos) {
-        parsed.query = target.substr(qmark + 1);
-        target.resize(qmark);
+    response.body = message + "\n";
+  }
+  return response;
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
+  const auto path_it = handlers_.find(request.path);
+  if (path_it == handlers_.end()) {
+    std::string message = "not found; endpoints:";
+    for (const auto& [path, by_method] : handlers_) message += " " + path;
+    return MakeError(404, message);
+  }
+  // GET handlers also answer HEAD; the body is omitted at the send site.
+  const std::string& lookup =
+      request.method == "HEAD" ? std::string("GET") : request.method;
+  const auto method_it = path_it->second.find(lookup);
+  if (method_it == path_it->second.end()) {
+    std::string message = "method not allowed; supported:";
+    for (const auto& [method, handler] : path_it->second) {
+      message += " " + method;
+    }
+    return MakeError(405, message);
+  }
+  return method_it->second(request);
+}
+
+void HttpServer::ServeConnection(int client_fd) {
+  SetRecvTimeout(client_fd, options_.idle_timeout_ms);
+  std::string buffer;  // bytes received but not yet consumed
+  int served = 0;
+  bool keep_open = true;
+  while (keep_open && !stopping_.load(std::memory_order_acquire)) {
+    // Phase 1: read up to the end of the header block.
+    size_t body_start = 0;
+    size_t header_end = FindHeaderEnd(buffer, &body_start);
+    bool peer_gone = false;
+    while (header_end == std::string::npos && buffer.size() < kMaxHeaderBytes) {
+      char buf[2048];
+      const ssize_t n = recv(client_fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        peer_gone = true;
+        break;
       }
-      parsed.path = target;
-      if (parsed.method != "GET" && parsed.method != "HEAD") {
-        response.status = 405;
-        response.body = "only GET is supported\n";
-      } else {
-        const auto it = handlers_.find(parsed.path);
-        if (it == handlers_.end()) {
-          response.status = 404;
-          response.body = "not found; endpoints:";
-          for (const auto& [path, handler] : handlers_) {
-            response.body += " " + path;
-          }
-          response.body += "\n";
+      buffer.append(buf, static_cast<size_t>(n));
+      header_end = FindHeaderEnd(buffer, &body_start);
+    }
+    if (header_end == std::string::npos) {
+      // Idle keep-alive close (empty buffer) is silent; truncated or
+      // oversized header blocks get a terminal error response.
+      if (!buffer.empty()) {
+        const int status = buffer.size() >= kMaxHeaderBytes ? 431 : 400;
+        const HttpResponse response = MakeError(
+            status, status == 431 ? "request header block too large"
+                                  : "truncated request");
+        SendAll(client_fd, StrFormat("HTTP/1.1 %d %s\r\nContent-Type: %s\r\n"
+                                     "Content-Length: %zu\r\n"
+                                     "Connection: close\r\n\r\n",
+                                     response.status,
+                                     StatusText(response.status),
+                                     response.content_type.c_str(),
+                                     response.body.size()) +
+                               response.body);
+        requests_served_.fetch_add(1, std::memory_order_relaxed);
+        if (!peer_gone) ShutdownDrain(client_fd);
+      }
+      return;
+    }
+
+    ParsedHead head = ParseHead(buffer.substr(0, header_end));
+    HttpRequest& request = head.request;
+    HttpResponse response;
+    bool framing_broken = false;
+    if (!head.ok) {
+      response = MakeError(400, "malformed request");
+      framing_broken = true;
+    } else {
+      // Phase 2: read the Content-Length framed body (if any).
+      size_t content_length = 0;
+      bool length_ok = true;
+      const auto cl = request.headers.find("content-length");
+      if (cl != request.headers.end()) {
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long long v = strtoull(cl->second.c_str(), &end, 10);
+        if (errno != 0 || end == cl->second.c_str() || *end != '\0') {
+          length_ok = false;
         } else {
-          response = it->second(parsed);
+          content_length = static_cast<size_t>(v);
+        }
+      }
+      if (!length_ok) {
+        response = MakeError(400, "invalid Content-Length");
+        framing_broken = true;
+      } else if (content_length > options_.max_body_bytes) {
+        response = MakeError(
+            413, StrFormat("body of %zu bytes exceeds the %zu-byte limit",
+                           content_length, options_.max_body_bytes));
+        framing_broken = true;  // unread body: cannot reuse the stream
+      } else {
+        const auto expect = request.headers.find("expect");
+        if (expect != request.headers.end() &&
+            ToLower(expect->second) == "100-continue" && content_length > 0) {
+          SendAll(client_fd, "HTTP/1.1 100 Continue\r\n\r\n");
+        }
+        while (buffer.size() < body_start + content_length) {
+          char buf[4096];
+          const ssize_t n = recv(client_fd, buf, sizeof(buf), 0);
+          if (n <= 0) break;
+          buffer.append(buf, static_cast<size_t>(n));
+        }
+        if (buffer.size() < body_start + content_length) {
+          response = MakeError(400, "truncated request body");
+          framing_broken = true;
+        } else {
+          request.body = buffer.substr(body_start, content_length);
+          buffer.erase(0, body_start + content_length);
+          response = Dispatch(request);
         }
       }
     }
-  }
 
-  std::string out = StrFormat(
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-      "Connection: close\r\n\r\n",
-      response.status, StatusText(response.status),
-      response.content_type.c_str(), response.body.size());
-  if (parsed.method != "HEAD") out += response.body;
-  SendAll(client_fd, out);
-  requests_served_.fetch_add(1, std::memory_order_relaxed);
+    ++served;
+    keep_open = options_.keep_alive && !framing_broken &&
+                served < options_.max_requests_per_connection &&
+                !stopping_.load(std::memory_order_acquire);
+    if (keep_open) {
+      const auto conn = request.headers.find("connection");
+      const std::string conn_value =
+          conn == request.headers.end() ? "" : ToLower(conn->second);
+      if (head.version == "HTTP/1.0") {
+        keep_open = conn_value == "keep-alive";
+      } else {
+        keep_open = conn_value != "close";
+      }
+    }
+
+    std::string out = StrFormat(
+        "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n",
+        response.status, StatusText(response.status),
+        response.content_type.c_str(), response.body.size());
+    for (const auto& [name, value] : response.extra_headers) {
+      out += name + ": " + value + "\r\n";
+    }
+    out += keep_open ? "Connection: keep-alive\r\n\r\n"
+                     : "Connection: close\r\n\r\n";
+    if (request.method != "HEAD") out += response.body;
+    SendAll(client_fd, out);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (framing_broken) {
+      ShutdownDrain(client_fd);
+      return;
+    }
+  }
 }
 
 }  // namespace sgcl

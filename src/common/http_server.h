@@ -1,51 +1,89 @@
 // Minimal dependency-free blocking HTTP/1.1 server (POSIX sockets) for
-// the live telemetry endpoint.
+// the live telemetry endpoint and the embedding inference service.
 //
 // Design constraints, in order:
-//  1. Zero cost to the training loop. The server runs one accept thread;
-//     handlers read process-wide state (metrics registry, trace
-//     collector, RunStatusBoard) that the hot paths already publish via
-//     relaxed atomics / short critical sections. Nothing in training
-//     blocks on the server.
-//  2. Boring and bounded. Requests are served one at a time on the
-//     accept thread (concurrent clients queue in the listen backlog);
-//     request size, header count, and per-socket recv time are capped so
-//     a stuck client cannot wedge the endpoint for long.
-//  3. Clean shutdown. Stop() wakes the accept loop deterministically and
-//     joins the thread; the destructor stops too, so scoped usage is
-//     leak-free.
+//  1. Zero cost to the training loop. With the default options the
+//     server runs one accept thread; handlers read process-wide state
+//     (metrics registry, trace collector, RunStatusBoard) that the hot
+//     paths already publish via relaxed atomics / short critical
+//     sections. Nothing in training blocks on the server.
+//  2. Boring and bounded. Request header size, body size, and
+//     per-socket recv time are capped so a stuck client cannot wedge a
+//     serving thread for long. With num_threads == 1, requests are
+//     served one at a time on the accept thread (concurrent clients
+//     queue in the listen backlog).
+//  3. Clean shutdown. Stop() wakes the accept loop(s), shuts down every
+//     active connection, and joins all threads deterministically; the
+//     destructor stops too, so scoped usage is leak-free.
 //
-// Scope: GET/HEAD only, exact-path dispatch, Connection: close on every
-// response. This is a diagnostics endpoint, not a web framework — no TLS,
-// no keep-alive, no chunked encoding. Bind is loopback-only by default.
+// Default scope matches the original diagnostics endpoint: GET/HEAD
+// only, exact-path dispatch, Connection: close on every response. The
+// serving stack (serve/service.*) opts into more via HttpServerOptions:
+// keep-alive with an idle timeout, multiple serving threads, POST
+// bodies framed by Content-Length, and JSON error bodies. Still no TLS
+// and no chunked encoding; bind is loopback-only.
 #ifndef SGCL_COMMON_HTTP_SERVER_H_
 #define SGCL_COMMON_HTTP_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
 namespace sgcl {
 
 struct HttpRequest {
-  std::string method;  // "GET", "HEAD", ...
+  std::string method;  // "GET", "HEAD", "POST", ...
   std::string path;    // decoded-free target path, e.g. "/metrics"
   std::string query;   // raw query string without the '?', may be empty
+  std::string body;    // request body (Content-Length framed), may be empty
+  // Header field names lowercased, values trimmed. Repeated headers keep
+  // the last value (none of the headers we read legally repeat).
+  std::map<std::string, std::string> headers;
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  // Extra response headers, e.g. {"Retry-After", "1"}. Content-Type,
+  // Content-Length, and Connection are emitted by the server.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
 };
 
-// Handlers run on the server's accept thread and must be thread-safe
-// with respect to whatever state they read.
+// Handlers run on a server thread and must be thread-safe with respect
+// to whatever state they read (with num_threads > 1 they also run
+// concurrently with each other).
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  // Number of threads accepting and serving connections. 1 preserves
+  // the original serialized diagnostics behavior.
+  int num_threads = 1;
+  // When true, HTTP/1.1 connections persist across requests until the
+  // client sends "Connection: close", the idle timeout fires, or
+  // max_requests_per_connection is reached.
+  bool keep_alive = false;
+  // Per-recv deadline; for keep-alive connections this is the idle
+  // timeout between requests.
+  int idle_timeout_ms = 5000;
+  // Bodies larger than this are rejected with 413 (connection closed).
+  size_t max_body_bytes = 1 << 20;
+  // Keep-alive connections are closed after this many responses.
+  int max_requests_per_connection = 100000;
+  // When true, server-generated errors (400/404/405/408/413/431) carry
+  // a JSON body: {"error":{"code":N,"message":"..."}}. Handler-produced
+  // responses are never rewritten.
+  bool json_errors = false;
+};
 
 class HttpServer {
  public:
@@ -55,16 +93,24 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  // Registers an exact-match handler for `path`. Must be called before
-  // Start; later registrations replace earlier ones.
+  // Registers an exact-match GET/HEAD handler for `path`. Must be
+  // called before Start; later registrations replace earlier ones.
   void Handle(const std::string& path, HttpHandler handler);
 
+  // Registers a handler for an exact method + path pair ("POST",
+  // "/v1/embed"). GET handlers also answer HEAD (body omitted). A
+  // request for a known path with an unregistered method gets 405.
+  void Handle(const std::string& method, const std::string& path,
+              HttpHandler handler);
+
   // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, see
-  // port()), starts the accept thread. InvalidArgument when already
+  // port()), starts the serving threads. InvalidArgument when already
   // running, Internal on socket errors (e.g. port in use).
   Status Start(int port);
+  Status Start(int port, const HttpServerOptions& options);
 
-  // Idempotent: wakes and joins the accept thread, closes the socket.
+  // Idempotent: wakes and joins all serving threads, shuts down active
+  // connections, closes the listen socket.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -78,12 +124,17 @@ class HttpServer {
  private:
   void AcceptLoop();
   void ServeConnection(int client_fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+  HttpResponse MakeError(int status, const std::string& message) const;
 
-  std::map<std::string, HttpHandler> handlers_;
-  std::thread accept_thread_;
+  std::map<std::string, std::map<std::string, HttpHandler>> handlers_;
+  std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<int64_t> requests_served_{0};
+  HttpServerOptions options_;
+  std::mutex conn_mu_;
+  std::set<int> active_fds_;
   int listen_fd_ = -1;
   int port_ = 0;
 };

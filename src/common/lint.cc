@@ -376,11 +376,11 @@ Result<LintOptions> LoadAllowlist(const std::string& path) {
     const std::string rule = Trim(entry.substr(colon + 1));
     const bool valid_rule =
         rule == "*" || (rule.size() == 7 && rule.rfind("sgcl-R", 0) == 0 &&
-                        rule[6] >= '1' && rule[6] <= '6');
+                        rule[6] >= '1' && rule[6] <= '7');
     if (file.empty() || !valid_rule) {
       return Status::InvalidArgument(
           StrFormat("allowlist %s:%d: bad entry '%s' (rule must be "
-                    "sgcl-R1..sgcl-R6 or *)",
+                    "sgcl-R1..sgcl-R7 or *)",
                     path.c_str(), lineno, entry.c_str()));
     }
     if (reason.empty()) {
@@ -440,6 +440,10 @@ void Linter::LintFile(const FileEntry& file, std::vector<Finding>* out) const {
       file.path.rfind("tests/", 0) != 0 &&
       (file.path.find("checkpoint") != std::string::npos ||
        file.path.find("train_state") != std::string::npos);
+  // R7 scope: the serving layer proper. Tools (which legitimately load
+  // the checkpoint before handing the model to ServeService) and tests
+  // are out of scope by construction.
+  const bool serve_path = file.path.rfind("src/serve/", 0) == 0;
 
   for (size_t li = 0; li < scrubbed.size(); ++li) {
     const std::string& line = scrubbed[li];
@@ -556,6 +560,26 @@ void Linter::LintFile(const FileEntry& file, std::vector<Finding>* out) const {
                            "atomic-write API; persist through "
                            "AtomicWriteFile (common/io.h) so a crash can "
                            "never publish a torn checkpoint",
+                           prim));
+            break;
+          }
+        }
+      }
+    }
+
+    // R7: blocking file I/O or checkpoint/dataset loading in src/serve/.
+    if (serve_path) {
+      for (const char* prim :
+           {"ofstream", "ifstream", "fstream", "fopen", "fread", "fwrite",
+            "LoadCheckpoint", "LoadTrainCheckpoint", "LoadDataset",
+            "ParseJsonFile", "AtomicWriteFile", "ReadFileToString"}) {
+        for (size_t i = 0; i < line.size(); ++i) {
+          if (TokenAt(line, i, prim)) {
+            emit(li, "sgcl-R7", Severity::kError,
+                 StrFormat("'%s' in the serving layer: src/serve/ must not "
+                           "touch the filesystem — load checkpoints and "
+                           "datasets in the CLI before ServeService::Start "
+                           "so request handlers never block on disk",
                            prim));
             break;
           }

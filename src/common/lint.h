@@ -27,6 +27,13 @@
 //            AtomicWriteFile (common/io.h) so a crash can never publish
 //            a torn checkpoint. Tests are exempt: they craft torn files
 //            on purpose.
+//   sgcl-R7  serving purity: src/serve/ sources must not do blocking
+//            file I/O or load checkpoints/datasets (std::[io]fstream,
+//            fopen/fread/fwrite, LoadCheckpoint, LoadDataset,
+//            ParseJsonFile, ...). The serving hot path works only on
+//            models the CLI loaded before Start; a disk access inside a
+//            request handler or the dispatch thread stalls every
+//            in-flight request behind it.
 //
 // Suppression: `// NOLINT(sgcl-R3)` on the offending line or
 // `// NOLINTNEXTLINE(sgcl-R3)` on the line above; a bare `// NOLINT`
@@ -51,7 +58,7 @@ const char* SeverityToString(Severity severity);
 struct Finding {
   std::string file;  // repo-relative path as given to AddFile
   int line = 0;      // 1-based
-  std::string rule;  // "sgcl-R1" .. "sgcl-R6"
+  std::string rule;  // "sgcl-R1" .. "sgcl-R7"
   Severity severity = Severity::kError;
   std::string message;
 };

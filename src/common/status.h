@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kUnavailable = 8,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -59,6 +60,11 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  // Transient overload / shutting down; callers may retry after backoff
+  // (the serving layer maps this to HTTP 503 + Retry-After).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -113,19 +113,17 @@ std::string RunStatusBoard::ToJson() const {
   return json;
 }
 
-TelemetryServer::~TelemetryServer() { Stop(); }
-
-Status TelemetryServer::Start(int port, const RunStatusBoard* board) {
-  start_ = std::chrono::steady_clock::now();
-  server_.Handle("/metrics", [](const HttpRequest&) {
+void RegisterDiagnosticsHandlers(HttpServer* server,
+                                 std::chrono::steady_clock::time_point start) {
+  server->Handle("/metrics", [](const HttpRequest&) {
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     response.body = MetricsRegistry::Global().Snapshot().ToPrometheusText();
     return response;
   });
-  server_.Handle("/healthz", [this](const HttpRequest&) {
+  server->Handle("/healthz", [start](const HttpRequest&) {
     const double uptime = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - start_)
+                              std::chrono::steady_clock::now() - start)
                               .count();
     HttpResponse response;
     response.content_type = "application/json";
@@ -137,6 +135,13 @@ Status TelemetryServer::Start(int port, const RunStatusBoard* board) {
                     JsonEscape(__VERSION__) + "\"}";
     return response;
   });
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+Status TelemetryServer::Start(int port, const RunStatusBoard* board) {
+  start_ = std::chrono::steady_clock::now();
+  RegisterDiagnosticsHandlers(&server_, start_);
   server_.Handle("/status", [board](const HttpRequest&) {
     HttpResponse response;
     response.content_type = "application/json";

@@ -30,7 +30,7 @@
 namespace sgcl {
 
 // Semantic version reported by /healthz.
-inline constexpr const char* kSgclVersion = "0.3.0";
+inline constexpr const char* kSgclVersion = "0.4.0";
 
 // Process-unique correlation id: wall-clock seconds, pid, and a process
 // counter, e.g. "run-68b2c1a4-1f3a-1".
@@ -77,6 +77,15 @@ class RunStatusBoard {
   double checkpoint_seconds_ = 0.0;
   std::chrono::steady_clock::time_point start_;
 };
+
+// Registers the shared diagnostics handlers — GET /metrics (Prometheus
+// text of the global registry) and GET /healthz (JSON liveness stamped
+// with run id/version/uptime) — on any HttpServer. Used by both the
+// telemetry endpoint and the inference service (serve/service.*) so
+// every HTTP surface in the process is scrapable the same way. `start`
+// anchors the reported uptime.
+void RegisterDiagnosticsHandlers(HttpServer* server,
+                                 std::chrono::steady_clock::time_point start);
 
 // Owns the HTTP server plus the endpoint handlers. Scoped: Stop() (or
 // destruction) joins the server thread.

@@ -52,6 +52,9 @@ class SgclModel : public Module {
   const SgclConfig& config() const { return config_; }
   const GnnEncoder& encoder_k() const { return *f_k_; }
   const GnnEncoder& encoder_q() const { return *f_q_; }
+  // w in Eq. 18 (hidden -> 1, no bias); read by the serving layer's
+  // fused keep-probability path (serve/inference_session.*).
+  const Linear& prob_head() const { return *prob_head_; }
   GnnEncoder* mutable_encoder_k() { return f_k_.get(); }
 
  private:

@@ -223,6 +223,12 @@ void GinInferencePlan::EncodeNodes(const float* x, int64_t n,
   }
 }
 
+void GinInferencePlan::EncodeBatch(const GraphBatch& batch, float* out) const {
+  EncodeNodes(batch.features.data(), batch.num_nodes, batch.edge_src.data(),
+              batch.edge_dst.data(), static_cast<int64_t>(batch.edge_src.size()),
+              out);
+}
+
 GinMaskedViewKernel::GinMaskedViewKernel(const GinInferencePlan& plan,
                                          const float* x, int64_t n,
                                          const int32_t* edge_src,

@@ -59,6 +59,11 @@ class GinInferencePlan {
                    const int32_t* edge_dst, int64_t num_edges,
                    float* out) const;
 
+  // Convenience overload for a block-diagonal GraphBatch (the serving
+  // layer's unit of work): one fused pass over the stacked features and
+  // offset-shifted edges. Writes [batch.num_nodes, out_dim] into `out`.
+  void EncodeBatch(const GraphBatch& batch, float* out) const;
+
   const std::vector<GinLayerParams>& layers() const { return layers_; }
 
  private:

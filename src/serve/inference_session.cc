@@ -1,0 +1,129 @@
+#include "serve/inference_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "graph/graph_batch.h"
+
+namespace sgcl {
+namespace serve {
+namespace {
+
+float StableSigmoid(float z) {
+  // Split by sign so exp never overflows.
+  if (z >= 0.0f) {
+    const float e = std::exp(-z);
+    return 1.0f / (1.0f + e);
+  }
+  const float e = std::exp(z);
+  return e / (1.0f + e);
+}
+
+// Pools the [num_nodes, dim] node matrix into one row per graph segment
+// (rows accumulated in ascending node order — deterministic and
+// independent of how graphs were coalesced).
+void PoolSegments(const float* nodes, const GraphBatch& batch, int64_t dim,
+                  PoolingKind kind, std::vector<std::vector<float>>* rows) {
+  for (int64_t g = 0; g < batch.num_graphs; ++g) {
+    const int64_t begin = batch.node_offsets[g];
+    const int64_t end = batch.node_offsets[g + 1];
+    std::vector<float> row(static_cast<size_t>(dim), 0.0f);
+    if (kind == PoolingKind::kMax && end > begin) {
+      for (int64_t j = 0; j < dim; ++j) row[j] = nodes[begin * dim + j];
+      for (int64_t v = begin + 1; v < end; ++v) {
+        for (int64_t j = 0; j < dim; ++j) {
+          row[j] = std::max(row[j], nodes[v * dim + j]);
+        }
+      }
+    } else {
+      for (int64_t v = begin; v < end; ++v) {
+        for (int64_t j = 0; j < dim; ++j) row[j] += nodes[v * dim + j];
+      }
+      if (kind == PoolingKind::kMean && end > begin) {
+        const float inv = 1.0f / static_cast<float>(end - begin);
+        for (int64_t j = 0; j < dim; ++j) row[j] *= inv;
+      }
+    }
+    rows->push_back(std::move(row));
+  }
+}
+
+}  // namespace
+
+InferenceSession::InferenceSession(const SgclModel* model)
+    : model_(model),
+      plan_k_(GinInferencePlan::Build(model->encoder_k())),
+      plan_q_(GinInferencePlan::Build(model->encoder_q())) {}
+
+int64_t InferenceSession::feat_dim() const {
+  return model_->config().encoder.in_dim;
+}
+
+int64_t InferenceSession::embed_dim() const {
+  return model_->config().encoder.hidden_dim;
+}
+
+Status InferenceSession::EmbedBatch(
+    const std::vector<const Graph*>& graphs,
+    std::vector<std::vector<float>>* rows) const {
+  if (graphs.empty()) return Status::OK();
+  const GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  const int64_t dim = embed_dim();
+  if (plan_k_.valid()) {
+    auto nodes = std::make_unique_for_overwrite<float[]>(
+        static_cast<size_t>(batch.num_nodes * dim));
+    plan_k_.EncodeBatch(batch, nodes.get());
+    PoolSegments(nodes.get(), batch, dim, model_->config().encoder.pooling,
+                 rows);
+    return Status::OK();
+  }
+  // Tape fallback for non-GIN architectures (same block-diagonal
+  // semantics, just slower).
+  const Tensor pooled = model_->EmbedGraphs(graphs);
+  for (int64_t g = 0; g < pooled.rows(); ++g) {
+    rows->emplace_back(pooled.data() + g * dim, pooled.data() + (g + 1) * dim);
+  }
+  return Status::OK();
+}
+
+Status InferenceSession::PredictBatch(
+    const std::vector<const Graph*>& graphs,
+    std::vector<std::vector<float>>* rows) const {
+  if (graphs.empty()) return Status::OK();
+  const GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
+  const int64_t dim = embed_dim();
+  const Tensor& w = model_->prob_head().weight();  // [hidden, 1]
+  if (w.rows() != dim) {
+    return Status::Internal("probability head width mismatch");
+  }
+  auto emit = [&](const float* nodes) {
+    for (int64_t g = 0; g < batch.num_graphs; ++g) {
+      const int64_t begin = batch.node_offsets[g];
+      const int64_t end = batch.node_offsets[g + 1];
+      std::vector<float> row;
+      row.reserve(static_cast<size_t>(end - begin));
+      for (int64_t v = begin; v < end; ++v) {
+        float z = 0.0f;
+        for (int64_t j = 0; j < dim; ++j) {
+          z += nodes[v * dim + j] * w.data()[j];
+        }
+        row.push_back(StableSigmoid(z));
+      }
+      rows->push_back(std::move(row));
+    }
+  };
+  if (plan_q_.valid()) {
+    auto nodes = std::make_unique_for_overwrite<float[]>(
+        static_cast<size_t>(batch.num_nodes * dim));
+    plan_q_.EncodeBatch(batch, nodes.get());
+    emit(nodes.get());
+    return Status::OK();
+  }
+  const Tensor h = model_->encoder_q().EncodeNodes(batch.features, batch);
+  emit(h.data());
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace sgcl

@@ -1,0 +1,57 @@
+// Read-only inference entry points over a loaded SgclModel for the
+// serving layer.
+//
+// The session snapshots fused GinInferencePlans for both towers at
+// construction (valid whenever the encoders are plain GIN stacks — the
+// paper's default architecture) and falls back to the tape path for
+// other architectures. Both paths are block-diagonal over a GraphBatch:
+// a graph's rows never read another graph's rows, so results are
+// bitwise identical whether a graph is encoded alone or inside a
+// coalesced batch — the invariant the micro-batcher's determinism test
+// pins down.
+//
+// The model must outlive the session, and no thread may mutate model
+// weights while serving (the CLI loads a checkpoint once at startup and
+// never trains).
+#ifndef SGCL_SERVE_INFERENCE_SESSION_H_
+#define SGCL_SERVE_INFERENCE_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sgcl_model.h"
+#include "nn/gin_inference.h"
+
+namespace sgcl {
+namespace serve {
+
+class InferenceSession {
+ public:
+  explicit InferenceSession(const SgclModel* model);
+
+  int64_t feat_dim() const;
+  int64_t embed_dim() const;
+  // True when the fused tape-free path is active (plain GIN stacks).
+  bool fused() const { return plan_k_.valid() && plan_q_.valid(); }
+
+  // /v1/embed: pooled f_k graph embeddings, one [embed_dim] row per
+  // graph (projection head dropped, paper §VI-A).
+  Status EmbedBatch(const std::vector<const Graph*>& graphs,
+                    std::vector<std::vector<float>>* rows) const;
+
+  // /v1/predict: per-node keep probabilities sigma(h_i . w) under the
+  // generator tower f_q (Eq. 18's learned score), one [num_nodes] row
+  // per graph.
+  Status PredictBatch(const std::vector<const Graph*>& graphs,
+                      std::vector<std::vector<float>>* rows) const;
+
+ private:
+  const SgclModel* model_;
+  GinInferencePlan plan_k_;
+  GinInferencePlan plan_q_;
+};
+
+}  // namespace serve
+}  // namespace sgcl
+
+#endif  // SGCL_SERVE_INFERENCE_SESSION_H_

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -149,6 +151,182 @@ TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
   EXPECT_NE(Get(server.port(), "/x").find("200"), std::string::npos);
   server.Stop();
   (void)first_port;
+}
+
+// ---- keep-alive / POST options (the serving stack's configuration) ----
+
+// Persistent connection helper: sends one framed request on an already
+// connected socket and reads exactly one Content-Length framed response.
+class KeepAliveClient {
+ public:
+  explicit KeepAliveClient(int port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ = fd_ >= 0 &&
+                 connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                         sizeof(addr)) == 0;
+  }
+  ~KeepAliveClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool Send(const std::string& raw) {
+    return connected_ &&
+           send(fd_, raw.data(), raw.size(), 0) ==
+               static_cast<ssize_t>(raw.size());
+  }
+
+  // One full response (headers + Content-Length body), or "" on EOF.
+  std::string ReadResponse() {
+    while (true) {
+      const size_t header_end = buffer_.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        const size_t cl = buffer_.find("Content-Length: ");
+        if (cl == std::string::npos || cl > header_end) return "";
+        const size_t len = static_cast<size_t>(
+            std::atoll(buffer_.c_str() + cl + std::strlen("Content-Length: ")));
+        const size_t total = header_end + 4 + len;
+        if (buffer_.size() >= total) {
+          const std::string response = buffer_.substr(0, total);
+          buffer_.erase(0, total);
+          return response;
+        }
+      }
+      char buf[2048];
+      const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return "";
+      buffer_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+std::string FramedPost(const std::string& path, const std::string& body) {
+  return "POST " + path + " HTTP/1.1\r\nHost: localhost\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+HttpServerOptions ServingOptions() {
+  HttpServerOptions options;
+  options.num_threads = 2;
+  options.keep_alive = true;
+  options.idle_timeout_ms = 2000;
+  options.max_body_bytes = 4096;
+  return options;
+}
+
+TEST(HttpServerKeepAliveTest, MultipleRequestsOnOneConnection) {
+  HttpServer server;
+  int hits = 0;
+  std::mutex mu;
+  server.Handle("POST", "/echo", [&](const HttpRequest& request) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++hits;
+    }
+    HttpResponse response;
+    response.body = request.body;
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0, ServingOptions()).ok());
+
+  KeepAliveClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < 5; ++i) {
+    const std::string payload = "req-" + std::to_string(i);
+    ASSERT_TRUE(client.Send(FramedPost("/echo", payload)));
+    const std::string response = client.ReadResponse();
+    EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+    EXPECT_NE(response.find("Connection: keep-alive"), std::string::npos);
+    EXPECT_NE(response.find(payload), std::string::npos);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(hits, 5);
+  }
+  server.Stop();
+}
+
+TEST(HttpServerKeepAliveTest, PipelinedRequestsInOneSend) {
+  HttpServer server;
+  server.Handle("POST", "/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.body;
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0, ServingOptions()).ok());
+  KeepAliveClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Two complete requests in one send: the leftover bytes after the
+  // first must be carried over, not dropped.
+  ASSERT_TRUE(client.Send(FramedPost("/echo", "first") +
+                          FramedPost("/echo", "second")));
+  EXPECT_NE(client.ReadResponse().find("first"), std::string::npos);
+  EXPECT_NE(client.ReadResponse().find("second"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerKeepAliveTest, ConnectionCloseRequestHonored) {
+  HttpServer server;
+  server.Handle("/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0, ServingOptions()).ok());
+  KeepAliveClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("GET /ping HTTP/1.1\r\nHost: localhost\r\n"
+                          "Connection: close\r\n\r\n"));
+  const std::string response = client.ReadResponse();
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  // The server must actually close: the next read hits EOF.
+  EXPECT_EQ(client.ReadResponse(), "");
+  server.Stop();
+}
+
+TEST(HttpServerKeepAliveTest, OversizedBodyIs413) {
+  HttpServer server;
+  server.Handle("POST", "/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.body;
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0, ServingOptions()).ok());  // max_body_bytes=4096
+  KeepAliveClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(FramedPost("/echo", std::string(8192, 'x'))));
+  const std::string response = client.ReadResponse();
+  EXPECT_NE(response.find("413"), std::string::npos) << response;
+  // Framing is broken past an unread oversized body: connection closes.
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerKeepAliveTest, JsonErrorsCarryStructuredBody) {
+  HttpServer server;
+  server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  HttpServerOptions options = ServingOptions();
+  options.json_errors = true;
+  ASSERT_TRUE(server.Start(0, options).ok());
+  KeepAliveClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("GET /nope HTTP/1.1\r\nHost: localhost\r\n\r\n"));
+  const std::string response = client.ReadResponse();
+  EXPECT_NE(response.find("404"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("{\"error\":{\"code\":404"), std::string::npos);
+  server.Stop();
 }
 
 TEST(HttpServerTest, StartFailsOnBusyPort) {

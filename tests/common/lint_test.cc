@@ -304,6 +304,43 @@ TEST(LintR6Test, SilentOnAtomicWritePathAndReads) {
   EXPECT_TRUE(LintSnippet("src/nn/checkpoint.cc", kR6Clean).empty());
 }
 
+// ---- sgcl-R7: blocking I/O in the serving layer ----------------------
+
+constexpr char kR7Fires[] = R"(
+Status Reload(const std::string& path, SgclModel* model) {
+  return LoadCheckpoint(path, model);
+}
+)";
+
+constexpr char kR7FiresStream[] = R"(
+void Dump(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+)";
+
+TEST(LintR7Test, FiresOnCheckpointLoadInServeSources) {
+  const auto findings = LintSnippet("src/serve/service.cc", kR7Fires);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "sgcl-R7");
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_NE(findings[0].message.find("serving layer"), std::string::npos);
+}
+
+TEST(LintR7Test, FiresOnRawStreamsInServeSources) {
+  const auto findings = LintSnippet("src/serve/batcher.cc", kR7FiresStream);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "sgcl-R7");
+}
+
+TEST(LintR7Test, ToolsAndTestsAreOutOfScope) {
+  // The CLI legitimately loads the checkpoint before handing the model
+  // to the service; serve tests may read fixture files.
+  EXPECT_TRUE(LintSnippet("tools/sgcl_cli.cc", kR7Fires).empty());
+  EXPECT_TRUE(LintSnippet("tests/serve/service_test.cc", kR7Fires).empty());
+  EXPECT_TRUE(LintSnippet("src/nn/gin_inference.cc", kR7Fires).empty());
+}
+
 TEST(LintR6Test, NonCheckpointAndTestFilesAreExempt) {
   // Same raw write elsewhere in the tree: not a checkpoint path.
   EXPECT_TRUE(LintSnippet("src/common/io.cc", kR6Fires).empty());

@@ -18,6 +18,18 @@
 //                      (bench_diff-compatible) and --compare diffs the run
 //                      against such a baseline (malformed/empty baseline
 //                      JSON fails with a Status before training starts)
+//   sgcl_cli serve     --model=model.ckpt (--feat-dim=D | --data=ds.bin)
+//                      [--http-port=P] [--http-threads=N]
+//                      [--max-batch-graphs=G] [--max-batch-nodes=V]
+//                      [--batch-timeout-us=T] [--max-queue=Q]
+//                      [--max-request-graphs=G] [--max-request-nodes=V]
+//                      [--duration-s=S]
+//                      serves POST /v1/embed and /v1/predict through the
+//                      dynamic micro-batcher (serve/service.h); runs until
+//                      SIGINT/SIGTERM unless --duration-s > 0. The model
+//                      checkpoint and (optional) dataset are loaded here,
+//                      before serving starts — request handlers never
+//                      touch the filesystem (lint rule sgcl-R7)
 //
 // Every command supports --help. Flags are typed (common/flags.h):
 // malformed values ("--epochs=abc"), unknown flags, and positional
@@ -39,9 +51,12 @@
 // --checkpoint-keep); --resume restarts from the latest checkpoint in
 // that directory — or from scratch when there is none — and replays the
 // remaining epochs with bitwise-identical losses (core/train_state.h).
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 #include <map>
 #include <memory>
 #include <string>
@@ -60,6 +75,7 @@
 #include "eval/table.h"
 #include "graph/dataset_io.h"
 #include "nn/checkpoint.h"
+#include "serve/service.h"
 
 namespace sgcl {
 namespace {
@@ -664,11 +680,120 @@ int CmdBench(int argc, char** argv) {
   return 0;
 }
 
+// SIGINT/SIGTERM latch for `serve` (async-signal-safe: just a flag).
+volatile std::sig_atomic_t g_serve_stop = 0;
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+int CmdServe(int argc, char** argv) {
+  std::string model_path = "model.ckpt";
+  std::string data;
+  int64_t feat_dim = 0;
+  uint64_t seed = 1;
+  int http_port = 0;
+  int http_threads = 4;
+  int64_t max_batch_graphs = 16;
+  int64_t max_batch_nodes = 4096;
+  int64_t batch_timeout_us = 2000;
+  int64_t max_queue = 256;
+  int64_t max_request_graphs = 64;
+  int64_t max_request_nodes = 2048;
+  double duration_s = 0.0;
+  ModelFlags model_flags;
+  FlagSet flags("sgcl_cli serve");
+  flags.String("model", &model_path, "checkpoint to serve");
+  flags.String("data", &data,
+               "dataset path used only to derive the feature dimension "
+               "(alternative to --feat-dim)");
+  flags.Int64("feat-dim", &feat_dim,
+              "node feature dimension the model was trained with "
+              "(see `sgcl_cli info`)");
+  flags.Uint64("seed", &seed, "model init seed (weights are overwritten by "
+               "the checkpoint)");
+  flags.Int("http-port", &http_port,
+            "listen on 127.0.0.1:<port>; 0 picks an ephemeral port");
+  flags.Int("http-threads", &http_threads, "HTTP worker threads");
+  flags.Int64("max-batch-graphs", &max_batch_graphs,
+              "micro-batch cap: graphs per fused forward (1 = no batching)");
+  flags.Int64("max-batch-nodes", &max_batch_nodes,
+              "micro-batch cap: total nodes per fused forward");
+  flags.Int64("batch-timeout-us", &batch_timeout_us,
+              "how long an open batch waits for more requests");
+  flags.Int64("max-queue", &max_queue,
+              "admission queue bound; beyond it requests get 503");
+  flags.Int64("max-request-graphs", &max_request_graphs,
+              "per-request graph cap (400 past it)");
+  flags.Int64("max-request-nodes", &max_request_nodes,
+              "per-request total-node cap (400 past it)");
+  flags.Double("duration-s", &duration_s,
+               "serve for this many seconds then exit; 0 = until "
+               "SIGINT/SIGTERM");
+  model_flags.Register(&flags);
+  if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
+    return rc;
+  }
+  if (feat_dim <= 0) {
+    if (data.empty()) {
+      return Fail(Status::InvalidArgument(
+          "serve needs --feat-dim (or --data to derive it)"));
+    }
+    auto ds = LoadDataset(data);
+    if (!ds.ok()) return Fail(ds.status());
+    feat_dim = ds->feat_dim();
+  }
+  auto cfg = model_flags.ToConfig(feat_dim);
+  if (!cfg.ok()) return Fail(cfg.status());
+  Rng rng(seed);
+  SgclModel model(*cfg, &rng);
+  Status st = LoadCheckpoint(model_path, &model);
+  if (!st.ok()) return Fail(st);
+
+  SetRunId(GenerateRunId());
+  serve::ServeOptions options;
+  options.http_port = http_port;
+  options.http_threads = http_threads;
+  options.batcher.max_batch_graphs = max_batch_graphs;
+  options.batcher.max_batch_nodes = max_batch_nodes;
+  options.batcher.batch_timeout_us = batch_timeout_us;
+  options.batcher.max_queue_requests = max_queue;
+  options.limits.max_graphs = max_request_graphs;
+  options.limits.max_total_nodes =
+      std::min(max_request_nodes, max_batch_nodes);
+  MetricsRegistry::Global().Reset();  // per-run isolation
+  serve::ServeService service(&model, options);
+  st = service.Start();
+  if (!st.ok()) return Fail(st);
+  // The smoke scripts parse this line to find an ephemeral port.
+  std::printf("serve: http://127.0.0.1:%d run_id %s\n", service.port(),
+              GetRunId().c_str());
+  std::printf("model %s: %s %d-layer hidden %d, feat dim %lld, fused %s\n",
+              model_path.c_str(), model_flags.arch.c_str(),
+              model_flags.layers, model_flags.hidden,
+              static_cast<long long>(feat_dim),
+              service.session().fused() ? "yes" : "no");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (duration_s > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count() >= duration_s) {
+      break;
+    }
+  }
+  std::printf("serve: shutting down\n%s\n", service.StatusJson().c_str());
+  service.Stop();
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: sgcl_cli "
-                 "<generate|info|pretrain|evaluate|scores|bench> [--flags]\n"
+                 "<generate|info|pretrain|evaluate|scores|bench|serve> "
+                 "[--flags]\n"
                  "run 'sgcl_cli <command> --help' for per-command flags\n");
     return 2;
   }
@@ -680,6 +805,7 @@ int Run(int argc, char** argv) {
   if (cmd == "evaluate") return CmdEvaluate(argc, argv);
   if (cmd == "scores") return CmdScores(argc, argv);
   if (cmd == "bench") return CmdBench(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
   std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
   return 2;
 }
