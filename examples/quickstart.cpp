@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   Tensor emb = trainer.model().EmbedGraphs(all);
   Rng rng(seed);
   MeanStd cv = SvmCrossValidate(emb.values(), emb.rows(), emb.cols(),
-                                dataset.Labels(), dataset.num_classes(),
+                                dataset.Labels().value(), dataset.num_classes(),
                                 /*folds=*/10, &rng);
   std::printf("10-fold SVM accuracy: %.2f%% ± %.2f%%\n", 100.0 * cv.mean,
               100.0 * cv.std);

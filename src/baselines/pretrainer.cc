@@ -1,8 +1,16 @@
 #include "baselines/pretrainer.h"
 
+#include <span>
+
 #include "common/logging.h"
 
 namespace sgcl {
+
+PretrainStats Pretrainer::Pretrain(const GraphDataset& dataset,
+                                   const std::vector<int64_t>& indices) {
+  const InMemorySource source(&dataset);
+  return Pretrain(source, indices);
+}
 
 GclPretrainerBase::GclPretrainerBase(const BaselineConfig& config,
                                      std::string name)
@@ -15,11 +23,11 @@ std::vector<Tensor> GclPretrainerBase::TrainableParameters() const {
 }
 
 PretrainStats GclPretrainerBase::Pretrain(
-    const GraphDataset& dataset, const std::vector<int64_t>& indices) {
+    const GraphSource& source, const std::vector<int64_t>& indices) {
   std::vector<int64_t> order = indices;
   if (order.empty()) {
-    order.resize(dataset.size());
-    for (int64_t i = 0; i < dataset.size(); ++i) order[i] = i;
+    order.resize(source.size());
+    for (int64_t i = 0; i < source.size(); ++i) order[i] = i;
   }
   SGCL_CHECK_GE(order.size(), 2u);
   Adam optimizer(TrainableParameters(), config_.learning_rate);
@@ -33,13 +41,15 @@ PretrainStats GclPretrainerBase::Pretrain(
          start += config_.batch_size) {
       const size_t end = std::min(order.size(), start + config_.batch_size);
       if (end - start < 2) break;
-      std::vector<const Graph*> batch;
-      batch.reserve(end - start);
-      for (size_t i = start; i < end; ++i) {
-        batch.push_back(&dataset.graph(order[i]));
-      }
+      FetchedGraphs fetched;
+      // Bench/protocol code treats fetch failures as programming errors
+      // (the interface predates the Result-returning trainer).
+      const Status fetch_status = source.Fetch(
+          std::span<const int64_t>(order.data() + start, end - start),
+          &fetched);
+      SGCL_CHECK(fetch_status.ok());
       optimizer.ZeroGrad();
-      Tensor loss = BatchLoss(batch, &rng_);
+      Tensor loss = BatchLoss(fetched.graphs(), &rng_);
       loss.Backward();
       optimizer.ClipGradNorm(config_.grad_clip);
       optimizer.Step();
@@ -66,9 +76,9 @@ NoPretrain::NoPretrain(const BaselineConfig& config, uint64_t seed) {
   encoder_ = std::make_unique<GnnEncoder>(config.encoder, &rng);
 }
 
-PretrainStats NoPretrain::Pretrain(const GraphDataset& dataset,
+PretrainStats NoPretrain::Pretrain(const GraphSource& source,
                                    const std::vector<int64_t>& indices) {
-  (void)dataset;
+  (void)source;
   (void)indices;
   return PretrainStats{};
 }

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "core/sgcl_trainer.h"
 #include "graph/dataset.h"
+#include "graph/graph_source.h"
 #include "nn/encoder.h"
 #include "tensor/optimizer.h"
 
@@ -33,9 +34,18 @@ class Pretrainer {
  public:
   virtual ~Pretrainer() = default;
 
-  // Self-supervised pretraining over dataset[indices] (all when empty).
-  virtual PretrainStats Pretrain(const GraphDataset& dataset,
+  // Self-supervised pretraining over source[indices] (all when empty).
+  // The source may be in-memory or a sharded on-disk store; methods
+  // fetch batches through GraphSource::Fetch and never assume resident
+  // graphs.
+  virtual PretrainStats Pretrain(const GraphSource& source,
                                  const std::vector<int64_t>& indices) = 0;
+
+  // Convenience adapter: pretrains from an in-memory dataset by wrapping
+  // it in a borrowing InMemorySource for the call. Non-virtual; derived
+  // classes re-expose it with `using Pretrainer::Pretrain;`.
+  PretrainStats Pretrain(const GraphDataset& dataset,
+                         const std::vector<int64_t>& indices);
 
   // Frozen graph embeddings for downstream evaluation.
   virtual Tensor EmbedGraphs(
@@ -53,7 +63,8 @@ class GclPretrainerBase : public Pretrainer {
  public:
   GclPretrainerBase(const BaselineConfig& config, std::string name);
 
-  PretrainStats Pretrain(const GraphDataset& dataset,
+  using Pretrainer::Pretrain;
+  PretrainStats Pretrain(const GraphSource& source,
                          const std::vector<int64_t>& indices) override;
   Tensor EmbedGraphs(const std::vector<const Graph*>& graphs) const override;
   GnnEncoder* mutable_encoder() override { return encoder_.get(); }
@@ -82,11 +93,12 @@ class SgclPretrainer : public Pretrainer {
   SgclPretrainer(const SgclConfig& config, uint64_t seed)
       : trainer_(config, seed) {}
 
-  PretrainStats Pretrain(const GraphDataset& dataset,
+  using Pretrainer::Pretrain;
+  PretrainStats Pretrain(const GraphSource& source,
                          const std::vector<int64_t>& indices) override {
     // The baseline interface predates the Result-returning trainer API;
     // invalid inputs are programming errors in bench code, so crash loudly.
-    return trainer_.Pretrain(dataset, indices).value();
+    return trainer_.Pretrain(source, indices).value();
   }
   Tensor EmbedGraphs(const std::vector<const Graph*>& graphs) const override {
     return trainer_.model().EmbedGraphs(graphs);
@@ -107,7 +119,8 @@ class NoPretrain : public Pretrainer {
  public:
   NoPretrain(const BaselineConfig& config, uint64_t seed);
 
-  PretrainStats Pretrain(const GraphDataset& dataset,
+  using Pretrainer::Pretrain;
+  PretrainStats Pretrain(const GraphSource& source,
                          const std::vector<int64_t>& indices) override;
   Tensor EmbedGraphs(const std::vector<const Graph*>& graphs) const override;
   GnnEncoder* mutable_encoder() override { return encoder_.get(); }

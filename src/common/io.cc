@@ -170,6 +170,11 @@ void BufferWriter::WriteFloatVector(const std::vector<float>& v) {
   WriteBytes(v.data(), v.size() * sizeof(float));
 }
 
+void BufferWriter::WriteI32Vector(const std::vector<int32_t>& v) {
+  WriteI64(static_cast<int64_t>(v.size()));
+  WriteBytes(v.data(), v.size() * sizeof(int32_t));
+}
+
 void BufferWriter::WriteI64Vector(const std::vector<int64_t>& v) {
   WriteI64(static_cast<int64_t>(v.size()));
   WriteBytes(v.data(), v.size() * sizeof(int64_t));
@@ -233,6 +238,18 @@ std::vector<float> BufferReader::ReadFloatVector() {
   }
   std::vector<float> v(static_cast<size_t>(size));
   ReadBytes(v.data(), v.size() * sizeof(float));
+  return v;
+}
+
+std::vector<int32_t> BufferReader::ReadI32Vector() {
+  const int64_t size = ReadI64();
+  if (!ok_ || size < 0 ||
+      static_cast<size_t>(size) > remaining() / sizeof(int32_t)) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<int32_t> v(static_cast<size_t>(size));
+  ReadBytes(v.data(), v.size() * sizeof(int32_t));
   return v;
 }
 

@@ -88,6 +88,7 @@ class BufferWriter {
   void WriteBytes(const void* data, size_t size);
   void WriteString(const std::string& s);
   void WriteFloatVector(const std::vector<float>& v);
+  void WriteI32Vector(const std::vector<int32_t>& v);
   void WriteI64Vector(const std::vector<int64_t>& v);
 
   const std::string& bytes() const { return buffer_; }
@@ -115,6 +116,7 @@ class BufferReader {
   uint64_t ReadU64();
   std::string ReadString();
   std::vector<float> ReadFloatVector();
+  std::vector<int32_t> ReadI32Vector();
   std::vector<int64_t> ReadI64Vector();
   // Raw `size` bytes as a string (empty + !ok() when out of range).
   std::string ReadRaw(size_t size);

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "common/trace.h"
 #include "core/train_state.h"
+#include "data/prefetcher.h"
 #include "nn/checkpoint.h"
 
 namespace sgcl {
@@ -73,19 +74,78 @@ SgclTrainer::SgclTrainer(const SgclConfig& config, uint64_t seed)
 Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
                                             const std::vector<int64_t>& indices,
                                             const PretrainOptions& options) {
+  const InMemorySource source(&dataset);
+  return Pretrain(source, indices, options);
+}
+
+void SgclTrainer::ShuffleOrder(std::vector<int64_t>* order,
+                               const std::vector<IndexRange>& blocks) {
+  if (blocks.size() <= 1) {
+    // Single-block source: the historical global shuffle, bit-identical
+    // to the pre-GraphSource loop.
+    rng_.Shuffle(order);
+    return;
+  }
+  // Block-aware shuffle: shuffle which blocks (shards) come in what
+  // order, and independently shuffle indices inside each block. Batches
+  // then touch shards in runs instead of uniformly at random, so the
+  // reader's decoded-shard cache keeps its bounded size effective. The
+  // trade (standard for out-of-core loaders) is that two graphs from
+  // different shards can never share a batch unless adjacent in the
+  // shard sequence.
+  std::vector<std::vector<int64_t>> groups(blocks.size());
+  for (int64_t idx : *order) {
+    // Blocks are sorted, disjoint, and cover the source: find the one
+    // holding idx.
+    size_t lo = 0, hi = blocks.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi + 1) / 2;
+      if (blocks[mid].begin <= idx) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    groups[lo].push_back(idx);
+  }
+  std::vector<size_t> sequence;
+  sequence.reserve(groups.size());
+  for (size_t b = 0; b < groups.size(); ++b) {
+    if (!groups[b].empty()) sequence.push_back(b);
+  }
+  rng_.Shuffle(&sequence);
+  order->clear();
+  for (size_t b : sequence) {
+    rng_.Shuffle(&groups[b]);
+    order->insert(order->end(), groups[b].begin(), groups[b].end());
+  }
+}
+
+Result<PretrainStats> SgclTrainer::Pretrain(const GraphSource& source,
+                                            const std::vector<int64_t>& indices,
+                                            const PretrainOptions& options) {
   std::vector<int64_t> order = indices;
   if (order.empty()) {
-    order.resize(dataset.size());
-    for (int64_t i = 0; i < dataset.size(); ++i) order[i] = i;
+    order.resize(source.size());
+    for (int64_t i = 0; i < source.size(); ++i) order[i] = i;
   }
   if (order.size() < 2) {
     return Status::InvalidArgument(
         "Pretrain needs at least 2 graphs (InfoNCE requires a negative)");
   }
   for (int64_t index : order) {
-    if (index < 0 || index >= dataset.size()) {
-      return Status::OutOfRange("Pretrain index outside dataset");
+    if (index < 0 || index >= source.size()) {
+      return Status::OutOfRange("Pretrain index outside source");
     }
+  }
+  if (options.checkpoint_every_batches < 0) {
+    return Status::InvalidArgument(
+        "PretrainOptions::checkpoint_every_batches must be >= 0");
+  }
+  if (options.checkpoint_every_batches > 0 &&
+      options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint_every_batches requires checkpoint_dir");
   }
   if (!options.checkpoint_dir.empty()) {
     if (options.checkpoint_every <= 0) {
@@ -105,7 +165,10 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
   stats.epoch_losses.reserve(config_.epochs);
   stats.epoch_seconds.reserve(config_.epochs);
   const uint64_t fingerprint = ConfigFingerprint(config_);
+  const uint64_t source_fingerprint = source.ContentFingerprint();
   int start_epoch = 0;
+  int64_t resume_batch_cursor = 0;
+  double resume_partial_loss = 0.0;
   double restored_seconds = 0.0;
   if (!options.resume_from.empty()) {
     Stopwatch load_watch;
@@ -118,6 +181,18 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
           options.resume_from.c_str(),
           static_cast<unsigned long long>(state.config_fingerprint),
           static_cast<unsigned long long>(fingerprint)));
+    }
+    // A checkpoint is bound to its training data: refuse resume against
+    // a source with different content (legacy checkpoints carry 0 and
+    // skip the check).
+    if (state.source_fingerprint != 0 &&
+        state.source_fingerprint != source_fingerprint) {
+      return Status::InvalidArgument(StrFormat(
+          "%s was written against a source with fingerprint %016llx, this "
+          "call trains on %016llx",
+          options.resume_from.c_str(),
+          static_cast<unsigned long long>(state.source_fingerprint),
+          static_cast<unsigned long long>(source_fingerprint)));
     }
     // The checkpointed permutation must cover exactly the graphs this
     // call selected; a different index set is a different run.
@@ -136,6 +211,8 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
     rng_.SetState(state.rng);
     order = state.order;
     start_epoch = state.next_epoch;
+    resume_batch_cursor = state.batch_cursor;
+    resume_partial_loss = state.partial_loss_sum;
     stats.epoch_losses = state.epoch_losses;
     stats.epoch_seconds = state.epoch_seconds;
     stats.total_batches = state.total_batches;
@@ -146,7 +223,8 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
         .GetCounter("time/checkpoint_us")
         ->Increment(static_cast<int64_t>(load_seconds * 1e6));
     SGCL_LOG(INFO) << "resumed from " << options.resume_from << " at epoch "
-                   << start_epoch << " (" << load_seconds << "s load)";
+                   << start_epoch << " batch " << resume_batch_cursor << " ("
+                   << load_seconds << "s load)";
   }
   Stopwatch run_watch;
   const std::map<std::string, double> run_stage_before =
@@ -156,24 +234,67 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
       MetricsRegistry::Global().GetCounter("train/epochs");
   static Counter* const batches_counter =
       MetricsRegistry::Global().GetCounter("train/batches");
+
+  const std::vector<IndexRange> blocks = source.FetchBlocks();
+  PrefetcherOptions prefetch_options;
+  prefetch_options.depth = options.prefetch_depth;
+  BatchPrefetcher prefetcher(&source, prefetch_options);
+
+  // Saves `state`-independent checkpoint fields and publishes to `path`.
+  const auto save_checkpoint =
+      [&](int next_epoch, int64_t batch_cursor, double partial_loss_sum,
+          const std::string& path) -> Status {
+    Stopwatch save_watch;
+    TrainState state;
+    state.config_fingerprint = fingerprint;
+    state.model_params = SerializeModuleParams(*model_);
+    state.optimizer = optimizer_->ExportState();
+    state.rng = rng_.GetState();
+    state.next_epoch = next_epoch;
+    state.total_epochs = config_.epochs;
+    state.total_batches = stats.total_batches;
+    state.order = order;
+    state.epoch_losses = stats.epoch_losses;
+    state.epoch_seconds = stats.epoch_seconds;
+    state.batch_cursor = batch_cursor;
+    state.partial_loss_sum = partial_loss_sum;
+    state.source_fingerprint = source_fingerprint;
+    SGCL_RETURN_NOT_OK(SaveTrainCheckpoint(state, path));
+    SGCL_RETURN_NOT_OK(PruneCheckpoints(options.checkpoint_dir,
+                                        options.checkpoint_keep_last));
+    const double save_seconds = save_watch.ElapsedSeconds();
+    MetricsRegistry::Global().GetCounter("checkpoint/saves")->Increment();
+    MetricsRegistry::Global()
+        .GetCounter("time/checkpoint_us")
+        ->Increment(static_cast<int64_t>(save_seconds * 1e6));
+    SGCL_LOG(DEBUG) << "checkpoint " << path << " saved in " << save_seconds
+                    << "s";
+    if (options.on_checkpoint) {
+      CheckpointReport report;
+      report.path = path;
+      report.epoch = next_epoch - (batch_cursor > 0 ? 0 : 1);
+      report.seconds = save_seconds;
+      options.on_checkpoint(report);
+    }
+    return Status::OK();
+  };
+
   for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     SGCL_TRACE_SPAN("train/epoch");
     Stopwatch epoch_watch;
-    rng_.Shuffle(&order);
-    double epoch_loss = 0.0;
-    int64_t batches = 0;
+    // A mid-epoch resume re-enters an epoch whose shuffle already
+    // happened (the restored `order` is post-shuffle and the restored
+    // RNG already consumed it), so only fresh epochs reshuffle.
+    const bool mid_epoch_resume =
+        epoch == start_epoch && resume_batch_cursor > 0;
+    if (!mid_epoch_resume) ShuffleOrder(&order, blocks);
+    // Materialize the epoch's batch index lists up front so the prefetch
+    // pipeline can run ahead of compute.
+    std::vector<std::vector<int64_t>> batch_indices;
+    batch_indices.reserve(order.size() / config_.batch_size + 1);
     for (size_t start = 0; start + 1 < order.size();
          start += config_.batch_size) {
-      if (options.should_cancel && options.should_cancel()) {
-        stats.cancelled = true;
-        stats.total_seconds = restored_seconds + run_watch.ElapsedSeconds();
-        stats.stage_seconds =
-            StageDelta(run_stage_before,
-                       StageSeconds(MetricsRegistry::Global().Snapshot()));
-        return stats;
-      }
-      const size_t end =
-          std::min(order.size(), start + config_.batch_size);
+      const size_t end = std::min(order.size(), start + config_.batch_size);
       if (end - start < 2) {
         // InfoNCE needs at least one negative, so a trailing batch of one
         // graph is skipped — every epoch, since the shuffle only reorders.
@@ -187,14 +308,34 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
         }
         break;
       }
-      SGCL_TRACE_SPAN("train/batch");
-      std::vector<const Graph*> batch;
-      batch.reserve(end - start);
-      for (size_t i = start; i < end; ++i) {
-        batch.push_back(&dataset.graph(order[i]));
+      batch_indices.emplace_back(order.begin() + start, order.begin() + end);
+    }
+    const int64_t epoch_batch_total =
+        static_cast<int64_t>(batch_indices.size());
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    if (mid_epoch_resume) {
+      // Fast-forward: the first batch_cursor batches already ran before
+      // the checkpoint; drop them and seed the running loss sum.
+      batches = std::min(resume_batch_cursor, epoch_batch_total);
+      epoch_loss = resume_partial_loss;
+      batch_indices.erase(batch_indices.begin(),
+                          batch_indices.begin() + batches);
+    }
+    prefetcher.BeginEpoch(std::move(batch_indices));
+    while (prefetcher.remaining() > 0) {
+      if (options.should_cancel && options.should_cancel()) {
+        stats.cancelled = true;
+        stats.total_seconds = restored_seconds + run_watch.ElapsedSeconds();
+        stats.stage_seconds =
+            StageDelta(run_stage_before,
+                       StageSeconds(MetricsRegistry::Global().Snapshot()));
+        return stats;
       }
+      SGCL_TRACE_SPAN("train/batch");
+      SGCL_ASSIGN_OR_RETURN(const FetchedGraphs fetched, prefetcher.Next());
       optimizer_->ZeroGrad();
-      Tensor loss = model_->ComputeLoss(batch, &rng_);
+      Tensor loss = model_->ComputeLoss(fetched.graphs(), &rng_);
       {
         SGCL_TRACE_SPAN_TIMED("backward");
         loss.Backward();
@@ -207,6 +348,14 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
       epoch_loss += loss.item();
       ++batches;
       batches_counter->Increment();
+      if (options.checkpoint_every_batches > 0 &&
+          batches % options.checkpoint_every_batches == 0 &&
+          batches < epoch_batch_total) {
+        SGCL_RETURN_NOT_OK(save_checkpoint(
+            epoch, batches, epoch_loss,
+            MidEpochCheckpointFileName(options.checkpoint_dir, epoch,
+                                       batches)));
+      }
     }
     const float mean_loss =
         batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
@@ -220,37 +369,9 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphDataset& dataset,
     if (!options.checkpoint_dir.empty() &&
         ((epoch + 1) % options.checkpoint_every == 0 ||
          epoch + 1 == config_.epochs)) {
-      Stopwatch save_watch;
-      TrainState state;
-      state.config_fingerprint = fingerprint;
-      state.model_params = SerializeModuleParams(*model_);
-      state.optimizer = optimizer_->ExportState();
-      state.rng = rng_.GetState();
-      state.next_epoch = epoch + 1;
-      state.total_epochs = config_.epochs;
-      state.total_batches = stats.total_batches;
-      state.order = order;
-      state.epoch_losses = stats.epoch_losses;
-      state.epoch_seconds = stats.epoch_seconds;
-      const std::string path =
-          CheckpointFileName(options.checkpoint_dir, epoch + 1);
-      SGCL_RETURN_NOT_OK(SaveTrainCheckpoint(state, path));
-      SGCL_RETURN_NOT_OK(PruneCheckpoints(options.checkpoint_dir,
-                                          options.checkpoint_keep_last));
-      const double save_seconds = save_watch.ElapsedSeconds();
-      MetricsRegistry::Global().GetCounter("checkpoint/saves")->Increment();
-      MetricsRegistry::Global()
-          .GetCounter("time/checkpoint_us")
-          ->Increment(static_cast<int64_t>(save_seconds * 1e6));
-      SGCL_LOG(DEBUG) << "checkpoint " << path << " saved in "
-                      << save_seconds << "s";
-      if (options.on_checkpoint) {
-        CheckpointReport report;
-        report.path = path;
-        report.epoch = epoch;
-        report.seconds = save_seconds;
-        options.on_checkpoint(report);
-      }
+      SGCL_RETURN_NOT_OK(save_checkpoint(
+          epoch + 1, 0, 0.0,
+          CheckpointFileName(options.checkpoint_dir, epoch + 1)));
     }
     if (options.on_epoch_end) {
       const std::map<std::string, double> stage_after =

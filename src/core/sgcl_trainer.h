@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "core/sgcl_model.h"
 #include "graph/dataset.h"
+#include "graph/graph_source.h"
 #include "tensor/optimizer.h"
 
 namespace sgcl {
@@ -82,6 +83,17 @@ struct PretrainOptions {
   std::string resume_from;
   // Called after each successful checkpoint save.
   std::function<void(const CheckpointReport&)> on_checkpoint;
+
+  // Streaming pipeline (data/prefetcher.h): batches kept in flight ahead
+  // of the training step. <= 0 fetches synchronously. Prefetching only
+  // moves *when* decode happens, never what is computed, so changing the
+  // depth cannot change losses.
+  int prefetch_depth = 2;
+  // When > 0 (and checkpoint_dir is set), additionally checkpoint inside
+  // each epoch after every N completed batches. These mid-epoch
+  // checkpoints carry a batch-level cursor, so a kill at any shard
+  // boundary resumes bitwise-exactly (see core/train_state.h).
+  int64_t checkpoint_every_batches = 0;
 };
 
 // Publishes one epoch's loss to the global metrics registry: sets gauge
@@ -98,11 +110,22 @@ class SgclTrainer {
   // (e.g. the CLI) validate first and surface the Status themselves.
   SgclTrainer(const SgclConfig& config, uint64_t seed);
 
-  // Runs config.epochs of Adam over shuffled minibatches of `graphs`
-  // (indices into `dataset`; empty = all graphs). Minibatches with fewer
-  // than 2 graphs are skipped (InfoNCE needs a negative). Returns
+  // Runs config.epochs of Adam over shuffled minibatches of `source`
+  // (indices into it; empty = all graphs). Minibatches with fewer than 2
+  // graphs are skipped (InfoNCE needs a negative). Returns
   // InvalidArgument when fewer than 2 graphs are selected or an index is
-  // out of range.
+  // out of range. Batches stream through the prefetch pipeline; for
+  // multi-block sources (sharded stores) the per-epoch shuffle is
+  // block-aware — shard order and within-shard order are both shuffled,
+  // but a batch never straddles more shards than it must — bounding the
+  // decoded-shard working set. Single-block sources (in-memory) shuffle
+  // globally, bit-identical to the historical loop.
+  Result<PretrainStats> Pretrain(const GraphSource& source,
+                                 const std::vector<int64_t>& indices = {},
+                                 const PretrainOptions& options = {});
+
+  // Convenience adapter: trains from an in-memory dataset through the
+  // same streaming path (InMemorySource borrows `dataset` for the call).
   Result<PretrainStats> Pretrain(const GraphDataset& dataset,
                                  const std::vector<int64_t>& indices = {},
                                  const PretrainOptions& options = {});
@@ -111,6 +134,10 @@ class SgclTrainer {
   const SgclModel& model() const { return *model_; }
 
  private:
+  // Per-epoch permutation update; block-aware for multi-block sources.
+  void ShuffleOrder(std::vector<int64_t>* order,
+                    const std::vector<IndexRange>& blocks);
+
   SgclConfig config_;
   Rng rng_;
   std::unique_ptr<SgclModel> model_;

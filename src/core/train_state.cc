@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <optional>
 #include <utility>
 
 #include "common/fault.h"
@@ -101,6 +102,12 @@ std::string SerializeCursorSection(const TrainState& state) {
   writer.WriteFloatVector(state.epoch_losses);
   writer.WriteI64(static_cast<int64_t>(state.epoch_seconds.size()));
   for (double s : state.epoch_seconds) writer.WriteF64(s);
+  // Streaming cursor extension — appended so pre-extension parsers were
+  // never promised these bytes and post-extension parsers accept their
+  // absence (legacy checkpoints resume with a zero cursor).
+  writer.WriteI64(state.batch_cursor);
+  writer.WriteF64(state.partial_loss_sum);
+  writer.WriteU64(state.source_fingerprint);
   return writer.TakeBytes();
 }
 
@@ -122,6 +129,17 @@ Status ParseCursorSection(const std::string& bytes, const std::string& what,
   out->total_epochs = static_cast<int>(total_epochs);
   out->epoch_seconds.resize(static_cast<size_t>(seconds_count));
   for (double& s : out->epoch_seconds) s = reader.ReadF64();
+  if (reader.remaining() > 0) {
+    out->batch_cursor = reader.ReadI64();
+    out->partial_loss_sum = reader.ReadF64();
+    out->source_fingerprint = reader.ReadU64();
+    if (!reader.ok() || out->batch_cursor < 0 ||
+        (out->batch_cursor > 0 && next_epoch >= total_epochs)) {
+      return Status::InvalidArgument(
+          StrFormat("%s cursor section has a corrupt batch cursor",
+                    what.c_str()));
+    }
+  }
   if (static_cast<int64_t>(out->epoch_losses.size()) != next_epoch ||
       seconds_count != next_epoch) {
     return Status::InvalidArgument(StrFormat(
@@ -134,41 +152,75 @@ Status ParseCursorSection(const std::string& bytes, const std::string& what,
   return reader.Finish(what + " cursor section");
 }
 
-// The epoch encoded in a checkpoint file name, or -1 for foreign names
-// (including the ".tmp" files a crashed atomic write leaves behind).
-int64_t EpochFromFileName(const std::string& name) {
-  const size_t prefix_len = sizeof(kCheckpointPrefix) - 1;
-  const size_t suffix_len = sizeof(kCheckpointSuffix) - 1;
-  if (name.size() <= prefix_len + suffix_len) return -1;
-  if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) return -1;
-  if (name.compare(name.size() - suffix_len, suffix_len,
-                   kCheckpointSuffix) != 0) {
-    return -1;
-  }
-  const std::string digits =
-      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
-  if (digits.empty()) return -1;
+// Resume-order key of a checkpoint file: an end-of-epoch file
+// "ckpt-<e>.sgcl" maps to (e, 0) and a mid-epoch file "ckpt-<e>-b<n>.sgcl"
+// to (e, n). Epoch e's mid-epoch checkpoints carry next_epoch == e, so
+// (epoch, batch) lexicographic order is exactly training progress order.
+struct CheckpointKey {
   int64_t epoch = 0;
-  for (char c : digits) {
-    if (c < '0' || c > '9') return -1;
-    epoch = epoch * 10 + (c - '0');
-    if (epoch > (int64_t{1} << 40)) return -1;
+  int64_t batch = 0;
+  bool operator<(const CheckpointKey& o) const {
+    return epoch != o.epoch ? epoch < o.epoch : batch < o.batch;
   }
-  return epoch;
+};
+
+bool ParseDigits(const std::string& digits, int64_t* out) {
+  if (digits.empty()) return false;
+  int64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+    if (v > (int64_t{1} << 40)) return false;
+  }
+  *out = v;
+  return true;
 }
 
-// All complete checkpoints in `dir` as (epoch, path), sorted by epoch.
-std::vector<std::pair<int64_t, std::string>> ListCheckpoints(
+// The key encoded in a checkpoint file name, or nothing for foreign
+// names (including the ".tmp" files a crashed atomic write leaves
+// behind).
+std::optional<CheckpointKey> KeyFromFileName(const std::string& name) {
+  const size_t prefix_len = sizeof(kCheckpointPrefix) - 1;
+  const size_t suffix_len = sizeof(kCheckpointSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return std::nullopt;
+  if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) {
+    return std::nullopt;
+  }
+  if (name.compare(name.size() - suffix_len, suffix_len,
+                   kCheckpointSuffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string body =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  CheckpointKey key;
+  const size_t sep = body.find("-b");
+  if (sep == std::string::npos) {
+    if (!ParseDigits(body, &key.epoch)) return std::nullopt;
+    return key;
+  }
+  if (!ParseDigits(body.substr(0, sep), &key.epoch)) return std::nullopt;
+  if (!ParseDigits(body.substr(sep + 2), &key.batch)) return std::nullopt;
+  if (key.batch <= 0) return std::nullopt;
+  return key;
+}
+
+// All complete checkpoints in `dir` as (key, path), sorted by key.
+std::vector<std::pair<CheckpointKey, std::string>> ListCheckpoints(
     const std::string& dir) {
-  std::vector<std::pair<int64_t, std::string>> found;
+  std::vector<std::pair<CheckpointKey, std::string>> found;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     if (!entry.is_regular_file(ec)) continue;
     const std::string name = entry.path().filename().string();
-    const int64_t epoch = EpochFromFileName(name);
-    if (epoch >= 0) found.emplace_back(epoch, entry.path().string());
+    if (const auto key = KeyFromFileName(name); key.has_value()) {
+      found.emplace_back(*key, entry.path().string());
+    }
   }
-  std::sort(found.begin(), found.end());
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) {
+              return a.first < b.first ||
+                     (!(b.first < a.first) && a.second < b.second);
+            });
   return found;
 }
 
@@ -277,6 +329,13 @@ Result<TrainState> LoadTrainCheckpoint(const std::string& path) {
 
 std::string CheckpointFileName(const std::string& dir, int next_epoch) {
   return StrFormat("%s/%s%06d%s", dir.c_str(), kCheckpointPrefix, next_epoch,
+                   kCheckpointSuffix);
+}
+
+std::string MidEpochCheckpointFileName(const std::string& dir, int epoch,
+                                       int64_t batch_cursor) {
+  return StrFormat("%s/%s%06d-b%08lld%s", dir.c_str(), kCheckpointPrefix,
+                   epoch, static_cast<long long>(batch_cursor),
                    kCheckpointSuffix);
 }
 

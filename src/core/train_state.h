@@ -44,6 +44,20 @@ struct TrainState {
   std::vector<int64_t> order;  // epoch order permutation, post-shuffle
   std::vector<float> epoch_losses;    // completed epochs so far
   std::vector<double> epoch_seconds;  // wall time of those epochs
+
+  // Mid-epoch (shard-level) cursor for streaming pretraining. When
+  // batch_cursor > 0 the checkpoint was taken inside epoch `next_epoch`
+  // after that many completed batches: resume skips the epoch shuffle
+  // (the stored `order` is already post-shuffle), fast-forwards to the
+  // batch at batch_cursor, and seeds the epoch's running loss from
+  // partial_loss_sum, so losses stay bitwise-identical across a kill at
+  // any shard/batch boundary. Absent in old checkpoints (defaults 0).
+  int64_t batch_cursor = 0;
+  double partial_loss_sum = 0.0;
+  // GraphSource::ContentFingerprint of the training data; checked on
+  // resume when nonzero so a checkpoint never silently resumes against
+  // different data (0 = unknown/legacy).
+  uint64_t source_fingerprint = 0;
 };
 
 // FNV-1a over a canonical serialization of every SgclConfig field that
@@ -66,6 +80,13 @@ Result<TrainState> LoadTrainCheckpoint(const std::string& path);
 // "<dir>/ckpt-000007.sgcl" for the checkpoint taken after epoch 7 (i.e.
 // next_epoch == 7). Zero-padded so lexicographic order is epoch order.
 std::string CheckpointFileName(const std::string& dir, int next_epoch);
+
+// "<dir>/ckpt-000007-b00000042.sgcl" for a mid-epoch checkpoint taken
+// inside epoch 7 after 42 batches. Orders after ckpt-000007.sgcl's
+// predecessor (next_epoch 7 = epoch 6 complete) and before
+// ckpt-000008.sgcl, matching resume order (epoch, then batch cursor).
+std::string MidEpochCheckpointFileName(const std::string& dir, int epoch,
+                                       int64_t batch_cursor);
 
 // The highest-epoch "ckpt-*.sgcl" file in `dir`, or NotFound when the
 // directory is missing or holds none. Ignores temp files and foreign

@@ -1,0 +1,85 @@
+// Async batch prefetch pipeline over a GraphSource.
+//
+// The trainer consumes batches strictly in order; the prefetcher keeps up
+// to `depth` Fetch calls in flight on the shared ThreadPool so shard
+// read + CRC + decode overlaps the previous batch's compute. depth=2 is
+// classic double buffering: while batch k trains, batch k+1 decodes.
+//
+// State machine per slot (one slot per scheduled batch):
+//   SCHEDULED --(pool worker runs Fetch)--> READY{result|error}
+//   READY --(Next() pops in FIFO order)--> consumed
+// BeginEpoch seeds `depth` SCHEDULED slots; every Next() schedules one
+// more until the epoch's batch list is exhausted. depth <= 0 disables
+// the pipeline: Next() fetches synchronously on the caller's thread,
+// which is bitwise-identical in results and useful for debugging.
+//
+// The prefetcher never touches training RNG — Fetch is read-only — so
+// enabling it cannot perturb losses; it only changes *when* decode work
+// happens. Thread-safety: one consumer thread calls BeginEpoch/Next; the
+// source's Fetch must be thread-safe (GraphSource contract).
+#ifndef SGCL_DATA_PREFETCHER_H_
+#define SGCL_DATA_PREFETCHER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_source.h"
+
+namespace sgcl {
+
+struct PrefetcherOptions {
+  // Batches in flight ahead of the consumer; <= 0 means synchronous.
+  int depth = 2;
+};
+
+class BatchPrefetcher {
+ public:
+  explicit BatchPrefetcher(const GraphSource* source,
+                           const PrefetcherOptions& options = {});
+  // Drains in-flight work before destruction (slots reference members).
+  ~BatchPrefetcher();
+
+  BatchPrefetcher(const BatchPrefetcher&) = delete;
+  BatchPrefetcher& operator=(const BatchPrefetcher&) = delete;
+
+  // Resets the pipeline to serve `batches` in order. Any batches left
+  // unconsumed from a previous epoch are abandoned (after draining).
+  void BeginEpoch(std::vector<std::vector<int64_t>> batches);
+
+  // The next batch, blocking until its fetch completes. Propagates the
+  // Fetch error of exactly that batch. Fatal if the epoch is exhausted —
+  // callers know their batch count.
+  [[nodiscard]] Result<FetchedGraphs> Next();
+
+  // Batches not yet handed out this epoch.
+  int64_t remaining() const;
+
+ private:
+  struct Slot {
+    bool done = false;
+    Status status = Status::OK();
+    FetchedGraphs result;
+  };
+
+  void Schedule();  // schedules batches_[next_to_schedule_] if any
+  void DrainInFlight();
+
+  const GraphSource* source_;
+  PrefetcherOptions options_;
+  std::vector<std::vector<int64_t>> batches_;
+  size_t next_to_schedule_ = 0;
+  size_t next_to_return_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Slot>> inflight_;  // FIFO, same order as batches
+  int64_t outstanding_ = 0;  // scheduled but not yet READY
+};
+
+}  // namespace sgcl
+
+#endif  // SGCL_DATA_PREFETCHER_H_

@@ -8,8 +8,12 @@ namespace sgcl {
 MeanStd RunUnsupervisedProtocol(
     const std::function<std::unique_ptr<Pretrainer>(uint64_t seed)>&
         make_pretrainer,
-    const GraphDataset& dataset,
+    const GraphSource& source,
     const UnsupervisedProtocolOptions& options) {
+  // Labels and embeddings for the SVM stage need every graph once; the
+  // protocol holds them resident even for on-disk sources (the SVM is
+  // dense in the graph count anyway).
+  const std::vector<int> labels = source.Labels().value();
   std::vector<double> per_seed;
   per_seed.reserve(options.num_seeds);
   for (int s = 0; s < options.num_seeds; ++s) {
@@ -18,24 +22,45 @@ MeanStd RunUnsupervisedProtocol(
     std::unique_ptr<Pretrainer> method = make_pretrainer(seed);
     // Pretrain on (1 - test_fraction) of the graphs, unlabeled.
     HoldoutSplit split = TrainTestSplit(
-        dataset.size(), 1.0 - options.pretrain_fraction, &rng);
+        source.size(), 1.0 - options.pretrain_fraction, &rng);
     // Pretrainer::Pretrain returns plain PretrainStats — the lint R1 hit
     // is a name collision with SgclTrainer's fallible Pretrain.
     // NOLINTNEXTLINE(sgcl-R1)
-    method->Pretrain(dataset, split.train);
-    // Embed the whole dataset.
-    std::vector<const Graph*> all;
-    all.reserve(dataset.size());
-    for (int64_t i = 0; i < dataset.size(); ++i) {
-      all.push_back(&dataset.graph(i));
-    }
-    Tensor emb = method->EmbedGraphs(all);
+    method->Pretrain(source, split.train);
+    // Embed the whole source.
+    const FetchedGraphs all = source.FetchAll().value();
+    Tensor emb = method->EmbedGraphs(all.graphs());
     MeanStd cv = SvmCrossValidate(emb.values(), emb.rows(), emb.cols(),
-                                  dataset.Labels(), dataset.num_classes(),
+                                  labels, source.num_classes(),
                                   options.cv_folds, &rng);
     per_seed.push_back(cv.mean);
-    SGCL_LOG(DEBUG) << method->name() << " on " << dataset.name() << " seed "
+    SGCL_LOG(DEBUG) << method->name() << " on " << source.name() << " seed "
                     << s << ": " << cv.mean;
+  }
+  return ComputeMeanStd(per_seed);
+}
+
+MeanStd RunUnsupervisedProtocol(
+    const std::function<std::unique_ptr<Pretrainer>(uint64_t seed)>&
+        make_pretrainer,
+    const GraphDataset& dataset,
+    const UnsupervisedProtocolOptions& options) {
+  const InMemorySource source(&dataset);
+  return RunUnsupervisedProtocol(make_pretrainer, source, options);
+}
+
+MeanStd RunKernelProtocol(const std::vector<double>& gram,
+                          const GraphSource& source,
+                          const UnsupervisedProtocolOptions& options) {
+  const std::vector<int> labels = source.Labels().value();
+  std::vector<double> per_seed;
+  per_seed.reserve(options.num_seeds);
+  for (int s = 0; s < options.num_seeds; ++s) {
+    Rng rng(options.base_seed + 1000ULL * (s + 1));
+    MeanStd cv = KernelSvmCrossValidate(gram, source.size(), labels,
+                                        source.num_classes(),
+                                        options.cv_folds, &rng);
+    per_seed.push_back(cv.mean);
   }
   return ComputeMeanStd(per_seed);
 }
@@ -43,17 +68,8 @@ MeanStd RunUnsupervisedProtocol(
 MeanStd RunKernelProtocol(const std::vector<double>& gram,
                           const GraphDataset& dataset,
                           const UnsupervisedProtocolOptions& options) {
-  std::vector<double> per_seed;
-  per_seed.reserve(options.num_seeds);
-  for (int s = 0; s < options.num_seeds; ++s) {
-    Rng rng(options.base_seed + 1000ULL * (s + 1));
-    MeanStd cv = KernelSvmCrossValidate(gram, dataset.size(),
-                                        dataset.Labels(),
-                                        dataset.num_classes(),
-                                        options.cv_folds, &rng);
-    per_seed.push_back(cv.mean);
-  }
-  return ComputeMeanStd(per_seed);
+  const InMemorySource source(&dataset);
+  return RunKernelProtocol(gram, source, options);
 }
 
 MeanStd RunTransferProtocol(

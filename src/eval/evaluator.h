@@ -9,6 +9,7 @@
 #include "baselines/pretrainer.h"
 #include "eval/cross_validation.h"
 #include "eval/finetune.h"
+#include "graph/graph_source.h"
 
 namespace sgcl {
 
@@ -20,9 +21,16 @@ struct UnsupervisedProtocolOptions {
 };
 
 // Unsupervised protocol (Table III): per seed, pretrain on 90% of the
-// graphs, embed the full dataset, run a 10-fold RBF-SVM CV on the
+// graphs, embed the full source, run a 10-fold RBF-SVM CV on the
 // embeddings; aggregate mean/std over seeds. `make_pretrainer` builds a
-// fresh method instance for a given seed.
+// fresh method instance for a given seed. The source may be in-memory or
+// a sharded on-disk store; batches stream through GraphSource::Fetch.
+MeanStd RunUnsupervisedProtocol(
+    const std::function<std::unique_ptr<Pretrainer>(uint64_t seed)>&
+        make_pretrainer,
+    const GraphSource& source, const UnsupervisedProtocolOptions& options);
+
+// In-memory convenience overload (borrowing InMemorySource for the call).
 MeanStd RunUnsupervisedProtocol(
     const std::function<std::unique_ptr<Pretrainer>(uint64_t seed)>&
         make_pretrainer,
@@ -30,6 +38,10 @@ MeanStd RunUnsupervisedProtocol(
 
 // Graph-kernel protocol: a kernel SVM CV on the precomputed Gram matrix,
 // repeated over fold seeds.
+MeanStd RunKernelProtocol(const std::vector<double>& gram,
+                          const GraphSource& source,
+                          const UnsupervisedProtocolOptions& options);
+
 MeanStd RunKernelProtocol(const std::vector<double>& gram,
                           const GraphDataset& dataset,
                           const UnsupervisedProtocolOptions& options);

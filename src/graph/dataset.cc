@@ -1,10 +1,40 @@
 #include "graph/dataset.h"
 
+#include <utility>
+
 #include "common/string_util.h"
 
 namespace sgcl {
 
-std::vector<int> GraphDataset::Labels() const {
+Result<int64_t> GraphDataset::FeatDim() const {
+  if (graphs_.empty()) {
+    return Status::FailedPrecondition(StrFormat(
+        "dataset %s is empty: feature dimension is undefined", name_.c_str()));
+  }
+  return graphs_[0].feat_dim();
+}
+
+void GraphDataset::Add(Graph g) {
+  SGCL_CHECK(graphs_.empty() || g.feat_dim() == graphs_[0].feat_dim());
+  graphs_.push_back(std::move(g));
+}
+
+Status GraphDataset::TryAdd(Graph g) {
+  if (!graphs_.empty() && g.feat_dim() != graphs_[0].feat_dim()) {
+    return Status::InvalidArgument(
+        StrFormat("graph has feat_dim %lld, dataset %s holds feat_dim %lld",
+                  static_cast<long long>(g.feat_dim()), name_.c_str(),
+                  static_cast<long long>(graphs_[0].feat_dim())));
+  }
+  graphs_.push_back(std::move(g));
+  return Status::OK();
+}
+
+Result<std::vector<int>> GraphDataset::Labels() const {
+  if (graphs_.empty()) {
+    return Status::FailedPrecondition(
+        StrFormat("dataset %s is empty: no labels", name_.c_str()));
+  }
   std::vector<int> labels;
   labels.reserve(graphs_.size());
   for (const Graph& g : graphs_) labels.push_back(g.label());
@@ -27,7 +57,8 @@ DatasetStats GraphDataset::Stats() const {
 }
 
 Status GraphDataset::Validate() const {
-  const int64_t d = feat_dim();
+  if (graphs_.empty()) return Status::OK();
+  const int64_t d = graphs_[0].feat_dim();
   for (int64_t i = 0; i < size(); ++i) {
     const Graph& g = graphs_[i];
     SGCL_RETURN_NOT_OK(g.Validate());
@@ -54,13 +85,50 @@ Status GraphDataset::Validate() const {
   return Status::OK();
 }
 
-GraphDataset GraphDataset::Subset(const std::vector<int64_t>& indices) const {
+namespace {
+
+Status CheckSubsetIndices(const std::vector<int64_t>& indices, int64_t size,
+                          const std::string& name) {
+  for (int64_t i : indices) {
+    if (i < 0 || i >= size) {
+      return Status::OutOfRange(
+          StrFormat("subset index %lld outside dataset %s of size %lld",
+                    static_cast<long long>(i), name.c_str(),
+                    static_cast<long long>(size)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<GraphDataset> GraphDataset::Subset(
+    const std::vector<int64_t>& indices) const& {
+  SGCL_RETURN_NOT_OK(CheckSubsetIndices(indices, size(), name_));
   GraphDataset out(name_, num_classes_, num_tasks_);
   out.Reserve(static_cast<int64_t>(indices.size()));
+  for (int64_t i : indices) out.Add(graphs_[i]);
+  return out;
+}
+
+Result<GraphDataset> GraphDataset::Subset(
+    const std::vector<int64_t>& indices) && {
+  SGCL_RETURN_NOT_OK(CheckSubsetIndices(indices, size(), name_));
+  GraphDataset out(name_, num_classes_, num_tasks_);
+  out.Reserve(static_cast<int64_t>(indices.size()));
+  // Moving the same index twice would hand out a moved-from graph; the
+  // rvalue overload therefore rejects duplicates up front.
+  std::vector<uint8_t> taken(graphs_.size(), 0);
   for (int64_t i : indices) {
-    SGCL_CHECK(i >= 0 && i < size());
-    out.Add(graphs_[i]);
+    if (taken[static_cast<size_t>(i)]) {
+      return Status::InvalidArgument(StrFormat(
+          "duplicate index %lld in move-subset of dataset %s",
+          static_cast<long long>(i), name_.c_str()));
+    }
+    taken[static_cast<size_t>(i)] = 1;
   }
+  for (int64_t i : indices) out.Add(std::move(graphs_[i]));
+  graphs_.clear();
   return out;
 }
 

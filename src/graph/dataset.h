@@ -1,4 +1,12 @@
 // A named collection of graphs with task metadata and summary statistics.
+//
+// Error contract: accessors that have no meaningful value on an empty or
+// malformed dataset are checked — feat_dim()/graph() are fatal on misuse
+// (programming errors in trusted code), while FeatDim()/Labels()/Subset/
+// TryAdd return Status/Result for untrusted inputs (CLI paths, files).
+// Feature-dim agreement is enforced at Add() time: the first graph pins
+// the dataset's feature width and every later Add must match, so a
+// mixed-width dataset can never be constructed silently.
 #ifndef SGCL_GRAPH_DATASET_H_
 #define SGCL_GRAPH_DATASET_H_
 
@@ -29,28 +37,48 @@ class GraphDataset {
   // >1 marks a multi-task binary-classification dataset (MoleculeNet-like).
   int num_tasks() const { return num_tasks_; }
   int64_t size() const { return static_cast<int64_t>(graphs_.size()); }
+
+  // Feature width shared by all graphs. Fatal on an empty dataset —
+  // callers that may legitimately hold an empty dataset use FeatDim().
   int64_t feat_dim() const {
-    return graphs_.empty() ? 0 : graphs_[0].feat_dim();
+    SGCL_CHECK(!graphs_.empty());
+    return graphs_[0].feat_dim();
   }
+  // FailedPrecondition on an empty dataset instead of a silent 0.
+  [[nodiscard]] Result<int64_t> FeatDim() const;
 
   const Graph& graph(int64_t i) const {
     SGCL_CHECK(i >= 0 && i < size());
     return graphs_[i];
   }
   const std::vector<Graph>& graphs() const { return graphs_; }
-  void Add(Graph g) { graphs_.push_back(std::move(g)); }
+
+  // Appends `g`; feature-dim disagreement with the graphs already present
+  // is fatal (generators are trusted to be consistent).
+  void Add(Graph g);
+  // Status-returning Add for untrusted input (file loads): rejects a
+  // feature-dim mismatch with InvalidArgument and leaves the dataset
+  // unchanged.
+  [[nodiscard]] Status TryAdd(Graph g);
   void Reserve(int64_t n) { graphs_.reserve(n); }
 
-  // Single-task class labels of all graphs.
-  std::vector<int> Labels() const;
+  // Single-task class labels of all graphs. FailedPrecondition when the
+  // dataset is empty.
+  [[nodiscard]] Result<std::vector<int>> Labels() const;
 
   DatasetStats Stats() const;
 
   // Validates every graph and checks label ranges & feature-dim agreement.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
-  // The subset given by `indices` (copying graphs).
-  GraphDataset Subset(const std::vector<int64_t>& indices) const;
+  // The subset given by `indices`. The lvalue overload copies the selected
+  // graphs; the rvalue overload moves them out of this dataset (which is
+  // left valid but unspecified), so `std::move(ds).Subset(idx)` never
+  // duplicates graph payloads. OutOfRange on any bad index.
+  [[nodiscard]] Result<GraphDataset> Subset(
+      const std::vector<int64_t>& indices) const&;
+  [[nodiscard]] Result<GraphDataset> Subset(
+      const std::vector<int64_t>& indices) &&;
 
  private:
   std::string name_;

@@ -1,6 +1,11 @@
 // Binary serialization of GraphDataset, so generated synthetic corpora
 // can be frozen to disk and reloaded bit-identically (useful for sharing
 // exact experiment inputs and for the CLI workflow).
+//
+// The v2 container shares the per-graph wire format with the sharded
+// store (graph/graph_record.h), carries a whole-file CRC32, and saves
+// through the crash-safe atomic-write path; v1 files (pre-CRC) remain
+// loadable. Load rejects corruption with InvalidArgument, never a crash.
 #ifndef SGCL_GRAPH_DATASET_IO_H_
 #define SGCL_GRAPH_DATASET_IO_H_
 

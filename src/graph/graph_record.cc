@@ -1,0 +1,63 @@
+#include "graph/graph_record.h"
+
+#include <utility>
+
+namespace sgcl {
+
+void AppendGraphRecord(const Graph& graph, BufferWriter* writer) {
+  writer->WriteI64(graph.num_nodes());
+  writer->WriteI64(graph.feat_dim());
+  writer->WriteFloatVector(graph.features());
+  writer->WriteI32Vector(graph.edge_src());
+  writer->WriteI32Vector(graph.edge_dst());
+  writer->WriteI64(graph.label());
+  writer->WriteI64(graph.scaffold_id());
+  writer->WriteFloatVector(graph.task_labels());
+  const std::vector<uint8_t>& mask = graph.semantic_mask();
+  writer->WriteString(
+      std::string(reinterpret_cast<const char*>(mask.data()), mask.size()));
+}
+
+Result<Graph> ParseGraphRecord(BufferReader* reader) {
+  const int64_t num_nodes = reader->ReadI64();
+  const int64_t feat_dim = reader->ReadI64();
+  if (!reader->ok() || num_nodes < 0 || num_nodes > kMaxRecordNodes ||
+      feat_dim < 0 || num_nodes * feat_dim > kMaxRecordFeatureEntries) {
+    return Status::InvalidArgument("corrupt graph record header");
+  }
+  Graph g(num_nodes, feat_dim);
+  std::vector<float> feats = reader->ReadFloatVector();
+  if (static_cast<int64_t>(feats.size()) != num_nodes * feat_dim) {
+    return Status::InvalidArgument("corrupt graph record feature payload");
+  }
+  g.mutable_features() = std::move(feats);
+  std::vector<int32_t> src = reader->ReadI32Vector();
+  std::vector<int32_t> dst = reader->ReadI32Vector();
+  if (!reader->ok() || src.size() != dst.size()) {
+    return Status::InvalidArgument("corrupt graph record edge payload");
+  }
+  for (size_t e = 0; e < src.size(); ++e) {
+    if (src[e] < 0 || src[e] >= num_nodes || dst[e] < 0 ||
+        dst[e] >= num_nodes) {
+      return Status::OutOfRange("graph record edge index outside graph");
+    }
+    g.AddUndirectedEdge(src[e], dst[e]);
+  }
+  g.set_label(static_cast<int>(reader->ReadI64()));
+  g.set_scaffold_id(static_cast<int>(reader->ReadI64()));
+  g.set_task_labels(reader->ReadFloatVector());
+  const std::string mask = reader->ReadString();
+  if (!reader->ok()) {
+    return Status::InvalidArgument("corrupt graph record trailer");
+  }
+  if (!mask.empty()) {
+    if (static_cast<int64_t>(mask.size()) != num_nodes) {
+      return Status::InvalidArgument(
+          "graph record semantic mask does not cover the node set");
+    }
+    g.set_semantic_mask(std::vector<uint8_t>(mask.begin(), mask.end()));
+  }
+  return g;
+}
+
+}  // namespace sgcl

@@ -1,0 +1,91 @@
+#include "graph/graph_source.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sgcl {
+namespace {
+
+// FNV-1a 64-bit over incremental words.
+struct Fnv64 {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  void Mix(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  void Mix(const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+  }
+};
+
+}  // namespace
+
+Result<std::vector<int>> GraphSource::Labels() const {
+  if (size() == 0) {
+    return Status::FailedPrecondition(
+        StrFormat("source %s is empty: no labels", name().c_str()));
+  }
+  constexpr int64_t kChunk = 4096;
+  std::vector<int> labels;
+  labels.reserve(static_cast<size_t>(size()));
+  std::vector<int64_t> indices;
+  for (int64_t start = 0; start < size(); start += kChunk) {
+    const int64_t end = std::min(size(), start + kChunk);
+    indices.resize(static_cast<size_t>(end - start));
+    for (int64_t i = start; i < end; ++i) {
+      indices[static_cast<size_t>(i - start)] = i;
+    }
+    FetchedGraphs chunk;
+    SGCL_RETURN_NOT_OK(Fetch(indices, &chunk));
+    for (const Graph* g : chunk.graphs()) labels.push_back(g->label());
+  }
+  return labels;
+}
+
+Result<FetchedGraphs> GraphSource::FetchAll() const {
+  std::vector<int64_t> indices(static_cast<size_t>(size()));
+  for (int64_t i = 0; i < size(); ++i) indices[static_cast<size_t>(i)] = i;
+  FetchedGraphs all;
+  SGCL_RETURN_NOT_OK(Fetch(indices, &all));
+  return all;
+}
+
+Status InMemorySource::Fetch(std::span<const int64_t> indices,
+                             FetchedGraphs* out) const {
+  for (int64_t i : indices) {
+    if (i < 0 || i >= borrowed_->size()) {
+      return Status::OutOfRange(
+          StrFormat("index %lld outside source %s of size %lld",
+                    static_cast<long long>(i), borrowed_->name().c_str(),
+                    static_cast<long long>(borrowed_->size())));
+    }
+    out->AppendBorrowed(&borrowed_->graph(i));
+  }
+  return Status::OK();
+}
+
+uint64_t InMemorySource::ContentFingerprint() const { return fingerprint_; }
+
+uint64_t InMemorySource::Fingerprint(const GraphDataset& dataset) {
+  Fnv64 fnv;
+  fnv.Mix(dataset.name());
+  fnv.Mix(static_cast<uint64_t>(dataset.num_classes()));
+  fnv.Mix(static_cast<uint64_t>(dataset.num_tasks()));
+  fnv.Mix(static_cast<uint64_t>(dataset.size()));
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const Graph& g = dataset.graph(i);
+    fnv.Mix(static_cast<uint64_t>(g.num_nodes()));
+    fnv.Mix(static_cast<uint64_t>(g.num_directed_edges()));
+    fnv.Mix(static_cast<uint64_t>(static_cast<int64_t>(g.label())));
+  }
+  // Never collide with the "unknown" sentinel.
+  return fnv.h == 0 ? 1 : fnv.h;
+}
+
+}  // namespace sgcl

@@ -1,0 +1,116 @@
+#include "data/prefetcher.h"
+
+#include <filesystem>
+#include <vector>
+
+#include "data/shard_store.h"
+#include "data/synthetic_molecule.h"
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string MakeStore(const char* name, int num_graphs,
+                      int64_t graphs_per_shard) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  fs::remove_all(dir);
+  GraphDataset ds = MakeZincLikeDataset(num_graphs, /*seed=*/21);
+  ShardWriterOptions opt;
+  opt.graphs_per_shard = graphs_per_shard;
+  auto writer = ShardedGraphStoreWriter::Create(dir, opt);
+  EXPECT_TRUE(writer.ok());
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    EXPECT_TRUE((*writer)->Append(ds.graph(i)).ok());
+  }
+  EXPECT_TRUE((*writer)->Finalize().ok());
+  return dir;
+}
+
+std::vector<std::vector<int64_t>> MakeBatches(int64_t total,
+                                              int64_t batch_size) {
+  std::vector<std::vector<int64_t>> batches;
+  for (int64_t start = 0; start < total; start += batch_size) {
+    std::vector<int64_t> b;
+    for (int64_t i = start; i < std::min(total, start + batch_size); ++i) {
+      b.push_back(i);
+    }
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+// The async pipeline must hand out exactly what synchronous fetching
+// would, batch for batch and graph for graph.
+TEST(PrefetcherTest, AsyncMatchesSynchronous) {
+  const std::string dir = MakeStore("prefetch_match", 20, 4);
+  auto store = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+
+  PrefetcherOptions sync_opt;
+  sync_opt.depth = 0;
+  PrefetcherOptions async_opt;
+  async_opt.depth = 3;
+  BatchPrefetcher sync_pf(store->get(), sync_opt);
+  BatchPrefetcher async_pf(store->get(), async_opt);
+  sync_pf.BeginEpoch(MakeBatches(20, 6));
+  async_pf.BeginEpoch(MakeBatches(20, 6));
+
+  while (sync_pf.remaining() > 0) {
+    ASSERT_GT(async_pf.remaining(), 0);
+    const FetchedGraphs a = sync_pf.Next().value();
+    const FetchedGraphs b = async_pf.Next().value();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.graph(i).num_nodes(), b.graph(i).num_nodes());
+      EXPECT_EQ(a.graph(i).features(), b.graph(i).features());
+      EXPECT_EQ(a.graph(i).edge_src(), b.graph(i).edge_src());
+    }
+  }
+  EXPECT_EQ(async_pf.remaining(), 0);
+  fs::remove_all(dir);
+}
+
+TEST(PrefetcherTest, PropagatesFetchErrors) {
+  const std::string dir = MakeStore("prefetch_err", 8, 4);
+  auto store = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  BatchPrefetcher pf(store->get(), {});
+  pf.BeginEpoch({{0, 1}, {5, 99}, {2, 3}});
+  EXPECT_TRUE(pf.Next().ok());
+  EXPECT_EQ(pf.Next().status().code(), StatusCode::kOutOfRange);
+  // The pipeline survives a failed batch: later batches still arrive.
+  EXPECT_TRUE(pf.Next().ok());
+  EXPECT_EQ(pf.remaining(), 0);
+  fs::remove_all(dir);
+}
+
+TEST(PrefetcherTest, ReusableAcrossEpochs) {
+  const std::string dir = MakeStore("prefetch_epochs", 10, 5);
+  auto store = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  BatchPrefetcher pf(store->get(), {});
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    pf.BeginEpoch(MakeBatches(10, 4));
+    int64_t graphs = 0;
+    while (pf.remaining() > 0) {
+      graphs += static_cast<int64_t>(pf.Next().value().size());
+    }
+    EXPECT_EQ(graphs, 10);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(PrefetcherTest, BeginEpochWithNoBatchesIsEmpty) {
+  const std::string dir = MakeStore("prefetch_empty", 4, 4);
+  auto store = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  BatchPrefetcher pf(store->get(), {});
+  pf.BeginEpoch({});
+  EXPECT_EQ(pf.remaining(), 0);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -1,0 +1,365 @@
+#include "data/shard_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "data/synthetic_molecule.h"
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// Writes `ds` into a fresh store at `dir` with `graphs_per_shard`.
+void WriteStore(const GraphDataset& ds, const std::string& dir,
+                int64_t graphs_per_shard) {
+  ShardWriterOptions opt;
+  opt.graphs_per_shard = graphs_per_shard;
+  opt.name = ds.name();
+  opt.num_classes = ds.num_classes();
+  opt.num_tasks = ds.num_tasks();
+  auto writer = ShardedGraphStoreWriter::Create(dir, opt);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE((*writer)->Append(ds.graph(i)).ok());
+  }
+  ASSERT_TRUE((*writer)->Finalize().ok());
+}
+
+void ExpectGraphsBitIdentical(const Graph& a, const Graph& b) {
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.feat_dim(), b.feat_dim());
+  EXPECT_EQ(a.features(), b.features());
+  EXPECT_EQ(a.edge_src(), b.edge_src());
+  EXPECT_EQ(a.edge_dst(), b.edge_dst());
+  EXPECT_EQ(a.label(), b.label());
+  EXPECT_EQ(a.scaffold_id(), b.scaffold_id());
+  EXPECT_EQ(a.task_labels(), b.task_labels());
+  EXPECT_EQ(a.semantic_mask(), b.semantic_mask());
+}
+
+TEST(ShardStoreTest, RoundTripBitExact) {
+  GraphDataset ds = MakeZincLikeDataset(23, /*seed=*/7);
+  const std::string dir = TempDir("shard_roundtrip");
+  WriteStore(ds, dir, /*graphs_per_shard=*/5);
+
+  auto store = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->size(), 23);
+  EXPECT_EQ((*store)->num_shards(), 5);  // 5*4 + 3
+  EXPECT_EQ((*store)->name(), "ZINC-like");
+  EXPECT_EQ((*store)->FeatDim().value(), kMoleculeFeatDim);
+
+  std::vector<int64_t> all(23);
+  for (int64_t i = 0; i < 23; ++i) all[i] = i;
+  FetchedGraphs out;
+  ASSERT_TRUE((*store)->Fetch(all, &out).ok());
+  ASSERT_EQ(out.size(), 23u);
+  for (int64_t i = 0; i < 23; ++i) {
+    ExpectGraphsBitIdentical(ds.graph(i), out.graph(i));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ShardStoreTest, FetchAcrossShardsInArbitraryOrder) {
+  GraphDataset ds = MakeZincLikeDataset(12, /*seed=*/3);
+  const std::string dir = TempDir("shard_order");
+  WriteStore(ds, dir, /*graphs_per_shard=*/4);
+  auto store = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  const std::vector<int64_t> idx = {11, 0, 5, 5, 3};
+  FetchedGraphs out;
+  ASSERT_TRUE((*store)->Fetch(idx, &out).ok());
+  ASSERT_EQ(out.size(), 5u);
+  for (size_t k = 0; k < idx.size(); ++k) {
+    ExpectGraphsBitIdentical(ds.graph(idx[k]), out.graph(k));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ShardStoreTest, FetchRejectsOutOfRange) {
+  GraphDataset ds = MakeZincLikeDataset(6, /*seed=*/1);
+  const std::string dir = TempDir("shard_oob");
+  WriteStore(ds, dir, /*graphs_per_shard=*/3);
+  auto store = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  FetchedGraphs out;
+  const std::vector<int64_t> bad = {0, 6};
+  EXPECT_EQ((*store)->Fetch(bad, &out).code(), StatusCode::kOutOfRange);
+  const std::vector<int64_t> neg = {-1};
+  EXPECT_EQ((*store)->Fetch(neg, &out).code(), StatusCode::kOutOfRange);
+  fs::remove_all(dir);
+}
+
+TEST(ShardStoreTest, FetchBlocksMatchShards) {
+  GraphDataset ds = MakeZincLikeDataset(10, /*seed=*/4);
+  const std::string dir = TempDir("shard_blocks");
+  WriteStore(ds, dir, /*graphs_per_shard=*/4);
+  auto store = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  const std::vector<IndexRange> blocks = (*store)->FetchBlocks();
+  ASSERT_EQ(blocks.size(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(blocks[0].begin, 0);
+  EXPECT_EQ(blocks[0].end, 4);
+  EXPECT_EQ(blocks[1].begin, 4);
+  EXPECT_EQ(blocks[1].end, 8);
+  EXPECT_EQ(blocks[2].begin, 8);
+  EXPECT_EQ(blocks[2].end, 10);
+  fs::remove_all(dir);
+}
+
+TEST(ShardStoreTest, CacheBoundsDecodesAndPinsSurviveEviction) {
+  GraphDataset ds = MakeZincLikeDataset(9, /*seed=*/5);
+  const std::string dir = TempDir("shard_cache");
+  WriteStore(ds, dir, /*graphs_per_shard=*/3);
+  ShardStoreOptions opt;
+  opt.max_cached_shards = 1;
+  auto store = ShardedGraphStore::Open(dir, opt);
+  ASSERT_TRUE(store.ok());
+
+  // Sequential fetches within one shard reuse the cached decode.
+  FetchedGraphs a, b;
+  ASSERT_TRUE((*store)->Fetch(std::vector<int64_t>{0, 1}, &a).ok());
+  ASSERT_TRUE((*store)->Fetch(std::vector<int64_t>{2}, &b).ok());
+  EXPECT_EQ((*store)->shard_decodes(), 1);
+
+  // Touching the other shards evicts shard 0 (cache size 1)...
+  FetchedGraphs c;
+  ASSERT_TRUE((*store)->Fetch(std::vector<int64_t>{3, 6}, &c).ok());
+  EXPECT_EQ((*store)->shard_decodes(), 3);
+  // ...but the earlier batches' pins keep their graphs alive.
+  ExpectGraphsBitIdentical(ds.graph(0), a.graph(0));
+  ExpectGraphsBitIdentical(ds.graph(2), b.graph(0));
+
+  // Re-fetching shard 0 decodes again (it was evicted).
+  FetchedGraphs d;
+  ASSERT_TRUE((*store)->Fetch(std::vector<int64_t>{1}, &d).ok());
+  EXPECT_EQ((*store)->shard_decodes(), 4);
+  fs::remove_all(dir);
+}
+
+TEST(ShardStoreTest, FingerprintStableAcrossOpensAndContentSensitive) {
+  GraphDataset ds = MakeZincLikeDataset(8, /*seed=*/6);
+  const std::string dir = TempDir("shard_fp_a");
+  WriteStore(ds, dir, /*graphs_per_shard=*/4);
+  auto s1 = ShardedGraphStore::Open(dir);
+  auto s2 = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NE((*s1)->ContentFingerprint(), 0u);
+  EXPECT_EQ((*s1)->ContentFingerprint(), (*s2)->ContentFingerprint());
+
+  const std::string dir_b = TempDir("shard_fp_b");
+  GraphDataset other = MakeZincLikeDataset(8, /*seed=*/99);
+  WriteStore(other, dir_b, /*graphs_per_shard=*/4);
+  auto s3 = ShardedGraphStore::Open(dir_b);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_NE((*s1)->ContentFingerprint(), (*s3)->ContentFingerprint());
+  fs::remove_all(dir);
+  fs::remove_all(dir_b);
+}
+
+TEST(ShardStoreTest, OpenMissingDirIsNotFound) {
+  auto store = ShardedGraphStore::Open(TempDir("shard_missing"));
+  EXPECT_EQ(store.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardStoreTest, WriterRejectsFeatDimMismatch) {
+  const std::string dir = TempDir("shard_featdim");
+  auto writer = ShardedGraphStoreWriter::Create(dir, {});
+  ASSERT_TRUE(writer.ok());
+  Graph a(3, 4);
+  ASSERT_TRUE((*writer)->Append(a).ok());
+  Graph b(3, 5);
+  EXPECT_EQ((*writer)->Append(b).code(), StatusCode::kInvalidArgument);
+  fs::remove_all(dir);
+}
+
+TEST(ShardStoreTest, WriterRejectsUseAfterFinalize) {
+  const std::string dir = TempDir("shard_finalized");
+  auto writer = ShardedGraphStoreWriter::Create(dir, {});
+  ASSERT_TRUE(writer.ok());
+  Graph g(3, 4);
+  ASSERT_TRUE((*writer)->Append(g).ok());
+  ASSERT_TRUE((*writer)->Finalize().ok());
+  EXPECT_EQ((*writer)->Append(g).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*writer)->Finalize().code(), StatusCode::kFailedPrecondition);
+  fs::remove_all(dir);
+}
+
+// -- Corruption battery --
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A tiny store (one shard of 4 graphs) used by the corruption tests.
+class ShardCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest runs each TEST_F as its own process, in
+    // parallel, so a shared directory would race.
+    const std::string unique =
+        std::string("shard_corrupt_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    dir_ = TempDir(unique.c_str());
+    GraphDataset ds = MakeZincLikeDataset(4, /*seed=*/11);
+    WriteStore(ds, dir_, /*graphs_per_shard=*/4);
+    shard_path_ = ShardedGraphStore::ShardPath(dir_, 0);
+    manifest_path_ = ShardedGraphStore::ManifestPath(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // True when the corrupted store either fails to open or fails every
+  // full fetch — corruption must never yield silently wrong graphs.
+  bool StoreRejected() {
+    auto store = ShardedGraphStore::Open(dir_);
+    if (!store.ok()) return true;
+    std::vector<int64_t> all((*store)->size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<int64_t>(i);
+    }
+    FetchedGraphs out;
+    return !(*store)->Fetch(all, &out).ok();
+  }
+
+  std::string dir_;
+  std::string shard_path_;
+  std::string manifest_path_;
+};
+
+TEST_F(ShardCorruptionTest, ShardTruncationAtEveryByteRejected) {
+  const std::vector<char> full = ReadAll(shard_path_);
+  ASSERT_GT(full.size(), 0u);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    WriteAll(shard_path_,
+             std::vector<char>(full.begin(), full.begin() + cut));
+    EXPECT_TRUE(StoreRejected()) << "shard truncated to " << cut << " of "
+                                 << full.size() << " bytes was accepted";
+  }
+  WriteAll(shard_path_, full);
+  EXPECT_FALSE(StoreRejected());
+}
+
+TEST_F(ShardCorruptionTest, ManifestTruncationAtEveryByteRejected) {
+  const std::vector<char> full = ReadAll(manifest_path_);
+  ASSERT_GT(full.size(), 0u);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    WriteAll(manifest_path_,
+             std::vector<char>(full.begin(), full.begin() + cut));
+    EXPECT_TRUE(StoreRejected()) << "manifest truncated to " << cut
+                                 << " bytes was accepted";
+  }
+  WriteAll(manifest_path_, full);
+  EXPECT_FALSE(StoreRejected());
+}
+
+TEST_F(ShardCorruptionTest, ShardBitFlipsRejected) {
+  const std::vector<char> full = ReadAll(shard_path_);
+  // Flip one bit at a spread of positions covering header, offset table,
+  // record payload, and trailing CRC.
+  for (size_t pos = 0; pos < full.size();
+       pos += std::max<size_t>(1, full.size() / 97)) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::vector<char> bad = full;
+      bad[pos] = static_cast<char>(bad[pos] ^ (1 << bit));
+      WriteAll(shard_path_, bad);
+      EXPECT_TRUE(StoreRejected())
+          << "bit " << bit << " at byte " << pos << " was accepted";
+    }
+  }
+  WriteAll(shard_path_, full);
+  EXPECT_FALSE(StoreRejected());
+}
+
+TEST_F(ShardCorruptionTest, ManifestBitFlipsNeverYieldWrongData) {
+  const std::vector<char> full = ReadAll(manifest_path_);
+  for (size_t pos = 0; pos < full.size();
+       pos += std::max<size_t>(1, full.size() / 97)) {
+    std::vector<char> bad = full;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+    WriteAll(manifest_path_, bad);
+    EXPECT_TRUE(StoreRejected())
+        << "manifest flip at byte " << pos << " was accepted";
+  }
+  WriteAll(manifest_path_, full);
+  EXPECT_FALSE(StoreRejected());
+}
+
+TEST_F(ShardCorruptionTest, WrongShardMagicRejected) {
+  std::vector<char> bad = ReadAll(shard_path_);
+  bad[0] = 'X';
+  WriteAll(shard_path_, bad);
+  EXPECT_TRUE(StoreRejected());
+}
+
+TEST_F(ShardCorruptionTest, WrongManifestMagicRejected) {
+  std::vector<char> bad = ReadAll(manifest_path_);
+  bad[0] = 'X';
+  WriteAll(manifest_path_, bad);
+  auto store = ShardedGraphStore::Open(dir_);
+  EXPECT_FALSE(store.ok());
+}
+
+// Rewrites the little-endian u32 trailing CRC so the corruption below is
+// only detectable by the field checks, not the checksum.
+void FixTrailingCrc(std::vector<char>* bytes) {
+  ASSERT_GE(bytes->size(), 4u);
+  const uint32_t crc = Crc32(bytes->data(), bytes->size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[bytes->size() - 4 + i] =
+        static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+}
+
+TEST_F(ShardCorruptionTest, UnsupportedManifestVersionRejected) {
+  // Version is the u32 after the magic; a file from a future format must
+  // fail cleanly even when its CRC is internally consistent.
+  std::vector<char> bad = ReadAll(manifest_path_);
+  bad[4] = 99;
+  FixTrailingCrc(&bad);
+  WriteAll(manifest_path_, bad);
+  auto store = ShardedGraphStore::Open(dir_);
+  EXPECT_FALSE(store.ok());
+}
+
+TEST_F(ShardCorruptionTest, UnsupportedShardVersionRejected) {
+  std::vector<char> bad = ReadAll(shard_path_);
+  bad[4] = 99;
+  FixTrailingCrc(&bad);
+  WriteAll(shard_path_, bad);
+  EXPECT_TRUE(StoreRejected());
+}
+
+TEST_F(ShardCorruptionTest, MissingShardFileRejected) {
+  fs::remove(shard_path_);
+  EXPECT_TRUE(StoreRejected());
+}
+
+TEST_F(ShardCorruptionTest, TrailingGarbageRejected) {
+  std::vector<char> bad = ReadAll(shard_path_);
+  bad.push_back('\0');
+  WriteAll(shard_path_, bad);
+  EXPECT_TRUE(StoreRejected());
+}
+
+}  // namespace
+}  // namespace sgcl

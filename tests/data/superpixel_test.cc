@@ -72,7 +72,7 @@ TEST(SuperpixelDatasetTest, LabelsAndSize) {
   EXPECT_EQ(ds.size(), 30);
   EXPECT_EQ(ds.num_classes(), 10);
   EXPECT_TRUE(ds.Validate().ok());
-  std::vector<int> labels = ds.Labels();
+  std::vector<int> labels = ds.Labels().value();
   EXPECT_EQ(labels[0], 0);
   EXPECT_EQ(labels[29], 9);
 }

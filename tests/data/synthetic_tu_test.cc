@@ -54,7 +54,7 @@ TEST(SyntheticTuTest, AllClassesRepresented) {
   for (TuDataset which : {TuDataset::kMutag, TuDataset::kCollab,
                           TuDataset::kRdtM5k}) {
     GraphDataset ds = MakeTuDataset(which, SmallOptions());
-    const std::vector<int> labels = ds.Labels();
+    const std::vector<int> labels = ds.Labels().value();
     std::set<int> classes(labels.begin(), labels.end());
     EXPECT_EQ(static_cast<int>(classes.size()), ds.num_classes())
         << ds.name();

@@ -64,7 +64,7 @@ TEST(KernelCrossValidateTest, WlKernelBeatsChanceOnPlantedMotifs) {
   GraphKernel wl(KernelKind::kWlSubtree);
   std::vector<double> gram = wl.GramMatrix(graphs);
   Rng rng(3);
-  MeanStd result = KernelSvmCrossValidate(gram, ds.size(), ds.Labels(),
+  MeanStd result = KernelSvmCrossValidate(gram, ds.size(), ds.Labels().value(),
                                           ds.num_classes(), 5, &rng);
   EXPECT_GT(result.mean, 0.55);
 }

@@ -1,0 +1,169 @@
+// Fault-injected crash tests for the sharded graph store (ctest label:
+// faultinject).
+//
+// Contracts under test:
+//   * A crash at any point in the shard-write or manifest-write path
+//     never publishes a readable-but-wrong store: the store is either
+//     absent (no manifest — the commit point) or fully valid.
+//   * Rebuilding after a crash produces a store whose content the
+//     reader round-trips bit-exactly.
+//   * A crash during a *mid-epoch* streaming checkpoint save leaves the
+//     newest published checkpoint loadable, and resuming from it
+//     reproduces the uninterrupted run's losses bitwise.
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "core/sgcl_trainer.h"
+#include "core/train_state.h"
+#include "data/shard_store.h"
+#include "data/synthetic_molecule.h"
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TmpDir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+Status WriteStoreStreaming(const GraphDataset& ds, const std::string& dir,
+                           int64_t graphs_per_shard) {
+  ShardWriterOptions opt;
+  opt.graphs_per_shard = graphs_per_shard;
+  opt.name = ds.name();
+  opt.num_classes = ds.num_classes();
+  SGCL_ASSIGN_OR_RETURN(auto writer,
+                        ShardedGraphStoreWriter::Create(dir, opt));
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    SGCL_RETURN_NOT_OK(writer->Append(ds.graph(i)));
+  }
+  return writer->Finalize();
+}
+
+class ShardCrashPointTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShardCrashPointTest, CrashNeverPublishesPartialStore) {
+  const char* point = GetParam();
+  GraphDataset ds = MakeZincLikeDataset(14, /*seed=*/31);
+  const std::string dir =
+      TmpDir(std::string("shard_crash_") +
+             fs::path(point).filename().string());
+
+  // Crash at the first, then deeper occurrences of the injection point,
+  // covering every shard boundary plus the manifest publish.
+  for (int nth = 1; nth <= 4; ++nth) {
+    fs::remove_all(dir);
+    Status crash;
+    {
+      ScopedFaultInjection scoped;
+      FaultInjector::Global().Arm(point, FaultKind::kCrash, nth);
+      crash = WriteStoreStreaming(ds, dir, /*graphs_per_shard=*/4);
+    }
+    if (crash.ok()) break;  // nth beyond the path's occurrence count
+    EXPECT_TRUE(IsSimulatedCrash(crash)) << crash.ToString();
+    // The manifest is written last, so the interrupted store must read
+    // as absent — never as a smaller-but-valid store.
+    auto store = ShardedGraphStore::Open(dir);
+    EXPECT_FALSE(store.ok())
+        << point << " nth=" << nth << " left an openable partial store";
+
+    // Rebuild from scratch in the same directory: fully valid again.
+    ASSERT_TRUE(WriteStoreStreaming(ds, dir, 4).ok());
+    auto rebuilt = ShardedGraphStore::Open(dir);
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    ASSERT_EQ((*rebuilt)->size(), ds.size());
+    std::vector<int64_t> all(ds.size());
+    for (int64_t i = 0; i < ds.size(); ++i) all[i] = i;
+    FetchedGraphs out;
+    ASSERT_TRUE((*rebuilt)->Fetch(all, &out).ok());
+    for (int64_t i = 0; i < ds.size(); ++i) {
+      EXPECT_EQ(ds.graph(i).features(), out.graph(i).features());
+      EXPECT_EQ(ds.graph(i).edge_src(), out.graph(i).edge_src());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShardInjectionPoints, ShardCrashPointTest,
+    ::testing::Values(kFaultShardWrite, kFaultManifestWrite, "io/open_tmp",
+                      "io/write", "io/fsync", "io/rename", "io/fsync_dir"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '/') c = '_';
+      }
+      return name;
+    });
+
+TEST(ShardFaultTest, WriteErrorFailsFinalizeCleanly) {
+  GraphDataset ds = MakeZincLikeDataset(10, /*seed=*/32);
+  const std::string dir = TmpDir("shard_eio");
+  ScopedFaultInjection scoped;
+  FaultInjector::Global().Arm(kFaultManifestWrite, FaultKind::kError);
+  const Status st = WriteStoreStreaming(ds, dir, 4);
+  ASSERT_FALSE(st.ok());
+  EXPECT_FALSE(IsSimulatedCrash(st));
+  EXPECT_FALSE(ShardedGraphStore::Open(dir).ok());
+}
+
+// Crash inside a mid-epoch checkpoint save during streaming training,
+// then resume: stitched losses must equal the uninterrupted run's.
+TEST(ShardFaultTest, MidEpochCheckpointCrashResumesBitwise) {
+  GraphDataset ds = MakeZincLikeDataset(30, /*seed=*/33);
+  const std::string store_dir = TmpDir("shard_stream_crash_store");
+  ASSERT_TRUE(WriteStoreStreaming(ds, store_dir, /*graphs_per_shard=*/8).ok());
+  auto store = ShardedGraphStore::Open(store_dir);
+  ASSERT_TRUE(store.ok());
+
+  SgclConfig cfg = MakeUnsupervisedConfig(kMoleculeFeatDim);
+  cfg.encoder.hidden_dim = 8;
+  cfg.encoder.num_layers = 2;
+  cfg.proj_dim = 8;
+  cfg.batch_size = 6;
+  cfg.epochs = 2;
+
+  // Ground truth: uninterrupted run.
+  std::vector<float> baseline;
+  {
+    SgclTrainer trainer(cfg, /*seed=*/41);
+    auto stats = trainer.Pretrain(**store);
+    ASSERT_TRUE(stats.ok());
+    baseline = stats->epoch_losses;
+  }
+
+  const std::string ckpt_dir = TmpDir("shard_stream_crash_ckpt");
+  {
+    ScopedFaultInjection scoped;
+    // First mid-epoch save (2 batches) publishes; the second (4 batches)
+    // crashes during the atomic rename.
+    FaultInjector::Global().Arm("io/rename", FaultKind::kCrash, /*nth=*/2);
+    SgclTrainer trainer(cfg, /*seed=*/41);
+    PretrainOptions options;
+    options.checkpoint_dir = ckpt_dir;
+    options.checkpoint_every_batches = 2;
+    auto stats = trainer.Pretrain(**store, {}, options);
+    ASSERT_FALSE(stats.ok());
+    EXPECT_TRUE(IsSimulatedCrash(stats.status()));
+  }
+
+  auto latest = FindLatestCheckpoint(ckpt_dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_NE(latest->find("-b"), std::string::npos) << *latest;
+  SgclTrainer resumed(cfg, /*seed=*/31337);
+  PretrainOptions options;
+  options.resume_from = *latest;
+  auto stats = resumed.Pretrain(**store, {}, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->epoch_losses, baseline);
+  fs::remove_all(store_dir);
+  fs::remove_all(ckpt_dir);
+}
+
+}  // namespace
+}  // namespace sgcl

@@ -23,7 +23,7 @@ TEST(DatasetTest, BasicAccessors) {
   EXPECT_EQ(ds.size(), 2);
   EXPECT_EQ(ds.num_classes(), 2);
   EXPECT_EQ(ds.feat_dim(), 3);
-  EXPECT_EQ(ds.Labels(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(ds.Labels().value(), (std::vector<int>{0, 1}));
 }
 
 TEST(DatasetTest, Stats) {
@@ -43,12 +43,35 @@ TEST(DatasetTest, ValidatePassesAndCatchesBadLabel) {
   EXPECT_FALSE(ds.Validate().ok());
 }
 
-TEST(DatasetTest, ValidateCatchesFeatDimMismatch) {
+TEST(DatasetTest, TryAddRejectsFeatDimMismatch) {
   GraphDataset ds = TwoGraphDataset();
   Graph other = testing::PathGraph3(7);
   other.set_label(0);
-  ds.Add(std::move(other));
-  EXPECT_FALSE(ds.Validate().ok());
+  const Status st = ds.TryAdd(std::move(other));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The mismatched graph was rejected, so the dataset stays valid.
+  EXPECT_EQ(ds.size(), 2);
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, TryAddAcceptsMatchingFeatDim) {
+  GraphDataset ds = TwoGraphDataset();
+  Graph ok = testing::PathGraph3(3);
+  ok.set_label(0);
+  EXPECT_TRUE(ds.TryAdd(std::move(ok)).ok());
+  EXPECT_EQ(ds.size(), 3);
+}
+
+TEST(DatasetTest, FeatDimOnEmptyIsCheckedError) {
+  GraphDataset ds("empty", /*num_classes=*/2);
+  const Result<int64_t> fd = ds.FeatDim();
+  EXPECT_EQ(fd.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ds.Labels().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetTest, FeatDimMatchesFirstGraph) {
+  GraphDataset ds = TwoGraphDataset();
+  EXPECT_EQ(ds.FeatDim().value(), 3);
 }
 
 TEST(DatasetTest, MultiTaskValidation) {
@@ -65,11 +88,35 @@ TEST(DatasetTest, MultiTaskValidation) {
 
 TEST(DatasetTest, SubsetCopiesSelectedGraphs) {
   GraphDataset ds = TwoGraphDataset();
-  GraphDataset sub = ds.Subset({1});
+  GraphDataset sub = ds.Subset({1}).value();
   EXPECT_EQ(sub.size(), 1);
   EXPECT_EQ(sub.graph(0).num_nodes(), 5);
   EXPECT_EQ(sub.num_classes(), 2);
   EXPECT_EQ(sub.name(), "toy");
+  // The lvalue overload copies: the original still owns its graphs.
+  EXPECT_EQ(ds.size(), 2);
+  EXPECT_EQ(ds.graph(1).num_nodes(), 5);
+}
+
+TEST(DatasetTest, SubsetRejectsOutOfRangeIndex) {
+  GraphDataset ds = TwoGraphDataset();
+  EXPECT_EQ(ds.Subset({2}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ds.Subset({-1}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, RvalueSubsetMovesWithoutCopying) {
+  GraphDataset ds = TwoGraphDataset();
+  const float* payload_before = ds.graph(1).features().data();
+  GraphDataset sub = std::move(ds).Subset({1}).value();
+  EXPECT_EQ(sub.size(), 1);
+  // Moved, not copied: the feature buffer keeps its address.
+  EXPECT_EQ(sub.graph(0).features().data(), payload_before);
+}
+
+TEST(DatasetTest, RvalueSubsetRejectsDuplicateIndices) {
+  GraphDataset ds = TwoGraphDataset();
+  const Result<GraphDataset> sub = std::move(ds).Subset({1, 1});
+  EXPECT_EQ(sub.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

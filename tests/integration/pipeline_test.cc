@@ -56,7 +56,7 @@ TEST(PipelineTest, UnsupervisedEndToEndThroughDisk) {
   }
   Tensor emb = restored.EmbedGraphs(all);
   MeanStd cv = SvmCrossValidate(emb.values(), emb.rows(), emb.cols(),
-                                dataset->Labels(), dataset->num_classes(),
+                                dataset->Labels().value(), dataset->num_classes(),
                                 /*folds=*/5, &rng);
   // Pretrained embeddings on the planted-motif data must beat chance
   // clearly.
@@ -126,7 +126,7 @@ TEST(PipelineTest, RegistryDrivenComparison) {
     Tensor emb = (*method)->EmbedGraphs(all);
     Rng rng(93);
     MeanStd cv = SvmCrossValidate(emb.values(), emb.rows(), emb.cols(),
-                                  ds.Labels(), ds.num_classes(), 3, &rng);
+                                  ds.Labels().value(), ds.num_classes(), 3, &rng);
     EXPECT_GT(cv.mean, 0.4) << name;
     EXPECT_LE(cv.mean, 1.0) << name;
   }

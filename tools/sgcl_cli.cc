@@ -7,7 +7,12 @@
 //                      [--batch=B] [--seed=S] [--metrics-out=metrics.jsonl]
 //                      [--trace-out=trace.json] [--checkpoint-dir=DIR]
 //                      [--checkpoint-every=K] [--checkpoint-keep=N]
-//                      [--resume]
+//                      [--checkpoint-every-batches=B] [--resume]
+//                      [--data-dir=STORE] [--prefetch-depth=D]
+//                      --data-dir streams training from a sharded on-disk
+//                      store (shard_writer output) instead of loading a
+//                      dataset file; peak memory stays bounded by the
+//                      shard cache + prefetch depth, not the corpus size
 //   sgcl_cli evaluate  --data=ds.bin --model=model.ckpt [--folds=K]
 //   sgcl_cli scores    --data=ds.bin --model=model.ckpt [--graph=I]
 //   sgcl_cli bench     [--data=ds.bin] [--epochs=N] [--graphs=N]
@@ -70,10 +75,12 @@
 #include "common/trace.h"
 #include "core/sgcl_trainer.h"
 #include "core/train_state.h"
+#include "data/shard_store.h"
 #include "data/synthetic_tu.h"
 #include "eval/cross_validation.h"
 #include "eval/table.h"
 #include "graph/dataset_io.h"
+#include "graph/graph_source.h"
 #include "nn/checkpoint.h"
 #include "serve/service.h"
 
@@ -179,6 +186,7 @@ struct CheckpointFlags {
   std::string dir;
   int every = 1;
   int keep = 3;
+  int64_t every_batches = 0;
   bool resume = false;
 
   void Register(FlagSet* flags) {
@@ -190,6 +198,10 @@ struct CheckpointFlags {
                "epoch is always checkpointed)");
     flags->Int("checkpoint-keep", &keep,
                "retain only the N newest checkpoints; 0 keeps all");
+    flags->Int64("checkpoint-every-batches", &every_batches,
+                 "additionally checkpoint inside each epoch after every B "
+                 "completed batches (0 disables; mid-epoch checkpoints "
+                 "resume bitwise-exactly)");
     flags->Bool("resume", &resume,
                 "resume from the latest checkpoint in --checkpoint-dir "
                 "(starts fresh when the directory has none)");
@@ -204,11 +216,16 @@ struct CheckpointFlags {
         return Status::InvalidArgument(
             "--resume requires --checkpoint-dir");
       }
+      if (every_batches > 0) {
+        return Status::InvalidArgument(
+            "--checkpoint-every-batches requires --checkpoint-dir");
+      }
       return Status::OK();
     }
     options->checkpoint_dir = dir;
     options->checkpoint_every = every;
     options->checkpoint_keep_last = keep;
+    options->checkpoint_every_batches = every_batches;
     if (resume) {
       Result<std::string> latest = FindLatestCheckpoint(dir);
       if (latest.ok()) {
@@ -261,11 +278,12 @@ std::string EpochReportJson(const EpochReport& r) {
 // that post-process them (bench's table). `command` labels the run in
 // /status and log records.
 Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
-                                       const GraphDataset& dataset,
+                                       const GraphSource& source,
                                        const ObservabilityFlags& obs,
                                        const char* command, int total_epochs,
                                        std::vector<EpochReport>* reports,
-                                       const CheckpointFlags* ckpt = nullptr) {
+                                       const CheckpointFlags* ckpt = nullptr,
+                                       int prefetch_depth = 2) {
   SetRunId(GenerateRunId());
   // Fail fast: every sink path is validated here, before training starts,
   // so a typo'd directory is a clean error instead of lost work at the
@@ -314,10 +332,11 @@ Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
   }
   board.BeginRun(command, total_epochs);
   SGCL_LOG(INFO) << command << " started: run " << GetRunId() << ", "
-                 << dataset.size() << " graphs, " << total_epochs
+                 << source.size() << " graphs, " << total_epochs
                  << " epochs";
 
   PretrainOptions options;
+  options.prefetch_depth = prefetch_depth;
   options.on_epoch_end = [&](const EpochReport& report) {
     if (reports != nullptr) reports->push_back(report);
     if (metrics_stream.is_open()) {
@@ -339,7 +358,7 @@ Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
                      << report.seconds << "s)";
     };
   }
-  Result<PretrainStats> stats = trainer->Pretrain(dataset, {}, options);
+  Result<PretrainStats> stats = trainer->Pretrain(source, {}, options);
   board.EndRun(stats.ok());
   SGCL_LOG(INFO) << command << " finished: run " << GetRunId()
                  << (stats.ok() ? " ok" : " failed");
@@ -424,28 +443,50 @@ int CmdInfo(int argc, char** argv) {
 }
 
 int CmdPretrain(int argc, char** argv) {
-  std::string data = "dataset.bin", out = "model.ckpt";
+  std::string data = "dataset.bin", data_dir, out = "model.ckpt";
   uint64_t seed = 1;
+  int prefetch_depth = 2;
   ModelFlags model_flags;
   ObservabilityFlags obs;
   CheckpointFlags ckpt;
   FlagSet flags("sgcl_cli pretrain");
   flags.String("data", &data, "dataset path");
+  flags.String("data-dir", &data_dir,
+               "sharded graph store directory (shard_writer output); when "
+               "set, streams training from disk instead of --data");
   flags.String("out", &out, "output checkpoint path");
   flags.Uint64("seed", &seed, "training seed");
+  flags.Int("prefetch-depth", &prefetch_depth,
+            "batches decoded ahead of the training step when streaming "
+            "(<= 0 fetches synchronously)");
   model_flags.Register(&flags);
   obs.Register(&flags);
   ckpt.Register(&flags);
   if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
     return rc;
   }
-  auto ds = LoadDataset(data);
-  if (!ds.ok()) return Fail(ds.status());
-  auto cfg = model_flags.ToConfig(ds->feat_dim());
+  // Resolve the training source: on-disk shard store or loaded dataset.
+  std::unique_ptr<ShardedGraphStore> store;
+  std::unique_ptr<InMemorySource> mem;
+  const GraphSource* source = nullptr;
+  if (!data_dir.empty()) {
+    auto opened = ShardedGraphStore::Open(data_dir);
+    if (!opened.ok()) return Fail(opened.status());
+    store = std::move(*opened);
+    source = store.get();
+  } else {
+    auto ds = LoadDataset(data);
+    if (!ds.ok()) return Fail(ds.status());
+    mem = std::make_unique<InMemorySource>(std::move(*ds));
+    source = mem.get();
+  }
+  auto feat_dim = source->FeatDim();
+  if (!feat_dim.ok()) return Fail(feat_dim.status());
+  auto cfg = model_flags.ToConfig(*feat_dim);
   if (!cfg.ok()) return Fail(cfg.status());
   SgclTrainer trainer(*cfg, seed);
-  auto stats = ObservedPretrain(&trainer, *ds, obs, "pretrain", cfg->epochs,
-                                nullptr, &ckpt);
+  auto stats = ObservedPretrain(&trainer, *source, obs, "pretrain",
+                                cfg->epochs, nullptr, &ckpt, prefetch_depth);
   if (!stats.ok()) return Fail(stats.status());
   std::printf("pretrained %d epochs: loss %.4f -> %.4f\n", cfg->epochs,
               stats->epoch_losses.front(), stats->epoch_losses.back());
@@ -483,7 +524,7 @@ int CmdEvaluate(int argc, char** argv) {
   Tensor emb = model.EmbedGraphs(all);
   if (folds < 2) return Fail(Status::InvalidArgument("--folds must be >= 2"));
   MeanStd cv = SvmCrossValidate(emb.values(), emb.rows(), emb.cols(),
-                                ds->Labels(), ds->num_classes(), folds, &rng);
+                                ds->Labels().value(), ds->num_classes(), folds, &rng);
   std::printf("%d-fold SVM accuracy: %.2f%% ± %.2f%%\n", folds,
               100.0 * cv.mean, 100.0 * cv.std);
   return 0;
@@ -607,8 +648,9 @@ int CmdBench(int argc, char** argv) {
   if (!cfg.ok()) return Fail(cfg.status());
   SgclTrainer trainer(*cfg, seed);
   std::vector<EpochReport> reports;
-  auto stats =
-      ObservedPretrain(&trainer, ds, obs, "bench", cfg->epochs, &reports);
+  const InMemorySource bench_source(&ds);
+  auto stats = ObservedPretrain(&trainer, bench_source, obs, "bench",
+                                cfg->epochs, &reports);
   if (!stats.ok()) return Fail(stats.status());
 
   // Per-stage wall time, mean ± std across epochs, plus the run total.
