@@ -11,14 +11,29 @@ chrome://tracing-loadable JSON containing the pipeline's stage spans.
 Live mode (telemetry endpoint):
     check_observability.py --live <sgcl_cli> <dataset.bin>
 
-Launches `sgcl_cli pretrain --http-port=0`, parses the announced port,
-and curls /healthz, /status, and /metrics (twice) while the run is in
-flight: the Prometheus text must parse, carry no duplicate series, and
-show monotone counters across the two scrapes. The run's file exports
-(obs_metrics.jsonl / obs_trace.json) are left behind for offline checks.
+Launches `sgcl_cli pretrain --http-port=0 --trace-sample-rate=1`,
+parses the announced port, and curls /healthz, /status, /metrics
+(twice), and /v1/traces while the run is in flight: the Prometheus text
+must parse, carry no duplicate series, and show monotone counters
+across the two scrapes, and the trace ring must hold committed
+train/batch trees. The run's file exports (obs_metrics.jsonl /
+obs_trace.json) are left behind for offline checks.
+
+Serve-trace mode (request tracing end to end):
+    check_observability.py --serve <sgcl_cli> <serve_load> \
+                           <trace_report> <dataset.bin> <model.ckpt>
+
+Starts `sgcl_cli serve --trace-sample-rate=1`, drives it with
+serve_load --slowest-traces, then asserts: the /metrics latency
+histogram carries a bucket exemplar that resolves at /v1/traces/<id>;
+the span tree is well-formed (serve/request root with queue wait, batch
+formation, forward, and encode children that sum to within 10% of the
+root's wall time); and `trace_report` parses the /v1/traces?detail=1
+dump (nonzero exit on parse failure fails the check).
 """
 import json
 import re
+import signal
 import subprocess
 import sys
 import time
@@ -27,11 +42,25 @@ import urllib.request
 EXPECTED_STAGES = {"generator", "augmentation", "encode", "loss",
                    "backward", "optimizer"}
 
+# Every stage a served request passes through; serve/parse is tiny but
+# must still be present for the tree to account for the request.
+SERVE_STAGES = {"serve/parse", "serve/queue_wait", "serve/batch_form",
+                "serve/forward", "serve/encode"}
+
 TELEMETRY_LINE = re.compile(
     r"telemetry: http://127\.0\.0\.1:(\d+) run_id (\S+)")
 
+SERVE_LINE = re.compile(r"serve: http://127\.0\.0\.1:(\d+) run_id (\S+)")
+
+# Value, optionally followed by an OpenMetrics-style exemplar
+# (` # {trace_id="..."} <value>`) as emitted on histogram bucket lines.
 SERIES_LINE = re.compile(
-    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s(\S+)$")
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s(\S+)"
+    r"(?:\s#\s\{[^}]*\}\s\S+)?$")
+
+EXEMPLAR_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*_bucket)\{[^}]*\}\s\S+"
+    r"\s#\s\{trace_id=\"([0-9a-f]{16})\"\}\s\S+$")
 
 
 def check_files(metrics_path: str, trace_path: str) -> None:
@@ -91,7 +120,7 @@ def check_live(cli: str, dataset: str) -> None:
         [cli, "pretrain", f"--data={dataset}", f"--epochs={epochs}",
          "--hidden=64", "--layers=3", "--batch=8", "--out=obs_model.ckpt",
          "--metrics-out=obs_metrics.jsonl", "--trace-out=obs_trace.json",
-         "--http-port=0"],
+         "--http-port=0", "--trace-sample-rate=1", "--trace-ring-size=64"],
         stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
     port, run_id = 0, ""
     try:
@@ -129,6 +158,17 @@ def check_live(cli: str, dataset: str) -> None:
             after = series2.get(name)
             if before is not None and after is not None:
                 assert after >= before, (name, before, after)
+
+        # Every batch is sampled, so the ring fills with committed
+        # train/batch trees; poll past the first-batch window.
+        for _ in range(50):
+            traces = json.loads(scrape(port, "/v1/traces"))
+            if traces["committed"] > 0:
+                break
+            time.sleep(0.1)
+        assert traces["sample_rate"] == 1.0, traces
+        assert traces["committed"] > 0, traces
+        assert traces["traces"][0]["root"] == "train/batch", traces
     finally:
         # Drain stdout so the CLI never blocks on a full pipe, then wait.
         proc.stdout.read()
@@ -138,9 +178,109 @@ def check_live(cli: str, dataset: str) -> None:
           f"{len(series2)} series, {len(counters)} counters monotone")
 
 
+def span_index(tree: dict):
+    """Flattens a /v1/traces/<id> span tree into {name: node}."""
+    nodes = {}
+
+    def walk(node):
+        nodes[node["name"]] = node
+        for child in node.get("children", []):
+            walk(child)
+
+    walk(tree["root"])
+    return nodes
+
+
+def check_serve_traces(cli: str, serve_load: str, trace_report: str,
+                       dataset: str, model: str) -> None:
+    proc = subprocess.Popen(
+        [cli, "serve", f"--model={model}", f"--data={dataset}",
+         "--arch=gcn", "--hidden=8", "--layers=3", "--http-port=0",
+         "--http-threads=8", "--max-batch-graphs=16",
+         "--batch-timeout-us=500", "--trace-sample-rate=1",
+         "--trace-ring-size=256"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    port = 0
+    try:
+        for line in proc.stdout:
+            m = SERVE_LINE.search(line)
+            if m:
+                port = int(m.group(1))
+                break
+        assert port, "serve exited before announcing a port"
+
+        load = subprocess.run(
+            [serve_load, f"--port={port}", "--endpoint=embed",
+             "--concurrency=4", "--duration-s=2", "--warmup-s=0.2",
+             "--graphs-per-request=4", "--nodes=4", "--features=onehot",
+             "--seed=11", "--slowest-traces=3"],
+            capture_output=True, text=True)
+        sys.stdout.write(load.stdout)
+        assert load.returncode == 0, f"serve_load exited {load.returncode}"
+        assert "slowest traces" in load.stdout, load.stdout
+
+        # The p99 debugging loop: a latency-histogram bucket exemplar in
+        # /metrics names a trace id the ring can resolve.
+        metrics = scrape(port, "/metrics")
+        parse_prometheus(metrics)  # exemplar suffix must stay parsable
+        exemplars = [m.group(2) for line in metrics.splitlines()
+                     if (m := EXEMPLAR_LINE.match(line))
+                     and m.group(1).startswith("sgcl_serve_")]
+        assert exemplars, "no serve latency exemplars in /metrics"
+
+        listing = json.loads(scrape(port, "/v1/traces"))
+        assert listing["committed"] > 0, listing
+        live_ids = {t["trace_id"] for t in listing["traces"]}
+        # The tail-attribution target is the p99-bucket exemplar: of the
+        # exemplar ids still resident in the ring, inspect the slowest
+        # (per-stage bookkeeping is fixed ~10 us, so only tail requests
+        # can meaningfully be asked to tile to 10%). Fall back to the
+        # ring's longest trace if every exemplar was evicted.
+        candidates = [x for x in exemplars if x in live_ids]
+        if not candidates:
+            candidates = [max(listing["traces"],
+                              key=lambda t: t["dur_us"])["trace_id"]]
+        trees = [json.loads(scrape(port, f"/v1/traces/{x}"))
+                 for x in candidates]
+        tree = max(trees, key=lambda t: t["root"]["dur_us"])
+        trace_id = tree["trace_id"]
+        nodes = span_index(tree)
+        missing = SERVE_STAGES - nodes.keys()
+        assert not missing, f"span tree lacks stages {missing}: {tree}"
+        root = tree["root"]
+        assert root["name"] == "serve/request", root["name"]
+        # The instrumented stages must account for the request: their
+        # durations sum to within 10% of the root's wall time.
+        staged = sum(nodes[name]["dur_us"] for name in SERVE_STAGES)
+        assert abs(staged - root["dur_us"]) <= 0.1 * root["dur_us"], \
+            f"stages cover {staged} of {root['dur_us']} us"
+
+        # trace_report reproduces the breakdown offline from the dump;
+        # a parse failure exits nonzero and fails this check.
+        dump = scrape(port, "/v1/traces?detail=1")
+        with open("serve_traces.json", "w") as out:
+            out.write(dump)
+        report = subprocess.run(
+            [trace_report, "serve_traces.json", "--top=3"],
+            capture_output=True, text=True)
+        sys.stdout.write(report.stdout)
+        assert report.returncode == 0, \
+            f"trace_report exited {report.returncode}: {report.stderr}"
+        assert "serve/forward" in report.stdout, report.stdout
+    finally:
+        proc.send_signal(signal.SIGINT)
+        proc.stdout.read()
+        rc = proc.wait(timeout=60)
+    assert rc == 0, f"serve exited with {rc}"
+    print(f"ok: serve trace smoke on port {port}, trace {trace_id}, "
+          f"{len(exemplars)} exemplar(s), trace_report parsed the dump")
+
+
 def main() -> int:
     if sys.argv[1] == "--live":
         check_live(sys.argv[2], sys.argv[3])
+    elif sys.argv[1] == "--serve":
+        check_serve_traces(*sys.argv[2:7])
     else:
         check_files(sys.argv[1], sys.argv[2])
     return 0

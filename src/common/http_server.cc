@@ -187,6 +187,11 @@ void HttpServer::Handle(const std::string& method, const std::string& path,
   handlers_[path][method] = std::move(handler);
 }
 
+void HttpServer::HandlePrefix(const std::string& prefix,
+                              HttpHandler handler) {
+  prefix_handlers_[prefix] = std::move(handler);
+}
+
 Status HttpServer::Start(int port) { return Start(port, HttpServerOptions{}); }
 
 Status HttpServer::Start(int port, const HttpServerOptions& options) {
@@ -317,6 +322,23 @@ HttpResponse HttpServer::MakeError(int status,
 HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
   const auto path_it = handlers_.find(request.path);
   if (path_it == handlers_.end()) {
+    // No exact match: longest registered prefix wins (GET/HEAD only,
+    // mirroring the path-only Handle overload).
+    const HttpHandler* best = nullptr;
+    size_t best_len = 0;
+    for (const auto& [prefix, handler] : prefix_handlers_) {
+      if (prefix.size() >= best_len &&
+          request.path.compare(0, prefix.size(), prefix) == 0) {
+        best = &handler;
+        best_len = prefix.size();
+      }
+    }
+    if (best != nullptr) {
+      if (request.method != "GET" && request.method != "HEAD") {
+        return MakeError(405, "method not allowed; supported: GET");
+      }
+      return (*best)(request);
+    }
     std::string message = "not found; endpoints:";
     for (const auto& [path, by_method] : handlers_) message += " " + path;
     return MakeError(404, message);

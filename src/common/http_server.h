@@ -103,6 +103,12 @@ class HttpServer {
   void Handle(const std::string& method, const std::string& path,
               HttpHandler handler);
 
+  // Registers a GET/HEAD handler for every path starting with `prefix`
+  // ("/v1/traces/" matches "/v1/traces/<id>"). Exact-path handlers win;
+  // among prefixes the longest match wins. The handler sees the full
+  // request (including path) and parses the suffix itself.
+  void HandlePrefix(const std::string& prefix, HttpHandler handler);
+
   // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, see
   // port()), starts the serving threads. InvalidArgument when already
   // running, Internal on socket errors (e.g. port in use).
@@ -128,6 +134,9 @@ class HttpServer {
   HttpResponse MakeError(int status, const std::string& message) const;
 
   std::map<std::string, std::map<std::string, HttpHandler>> handlers_;
+  // Prefix-dispatched GET handlers, keyed by prefix; consulted only
+  // when no exact path matches (longest prefix wins).
+  std::map<std::string, HttpHandler> prefix_handlers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

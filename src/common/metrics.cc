@@ -10,21 +10,35 @@
 namespace sgcl {
 
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      exemplars_(bounds_.size() + 1) {
   SGCL_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
 }
 
-void Histogram::Observe(double v) {
+size_t Histogram::BucketIndex(double v) const {
   // First bound >= v is the smallest bucket whose "v <= bound" contract
   // holds; past-the-end lands in the overflow bucket.
-  const size_t i =
-      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  return std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+         bounds_.begin();
+}
+
+void Histogram::Observe(double v) {
+  const size_t i = BucketIndex(v);
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::ObserveWithExemplar(double v, uint64_t trace_id) {
+  Observe(v);
+  if (trace_id == 0) return;
+  ExemplarSlot& slot = exemplars_[BucketIndex(v)];
+  slot.value.store(v, std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
 }
 
 std::vector<int64_t> Histogram::BucketCounts() const {
@@ -35,8 +49,21 @@ std::vector<int64_t> Histogram::BucketCounts() const {
   return counts;
 }
 
+std::vector<Exemplar> Histogram::Exemplars() const {
+  std::vector<Exemplar> out(exemplars_.size());
+  for (size_t i = 0; i < exemplars_.size(); ++i) {
+    out[i].trace_id = exemplars_[i].trace_id.load(std::memory_order_relaxed);
+    out[i].value = exemplars_[i].value.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplars_) {
+    e.trace_id.store(0, std::memory_order_relaxed);
+    e.value.store(0.0, std::memory_order_relaxed);
+  }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
 }
@@ -72,6 +99,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     MetricsSnapshot::HistogramData data;
     data.bounds = h->bounds();
     data.buckets = h->BucketCounts();
+    data.exemplars = h->Exemplars();
     data.count = h->count();
     data.sum = h->sum();
     snap.histograms[name] = std::move(data);
@@ -194,6 +222,18 @@ std::string MetricsSnapshot::ToJson() const {
       if (i > 0) out += ',';
       out += StrFormat("%lld", static_cast<long long>(h.buckets[i]));
     }
+    out += "],\"exemplars\":[";
+    bool first_ex = true;
+    for (size_t i = 0; i < h.exemplars.size(); ++i) {
+      if (h.exemplars[i].trace_id == 0) continue;
+      if (!first_ex) out += ',';
+      first_ex = false;
+      out += StrFormat(
+          "{\"bucket\":%llu,\"trace_id\":\"%016llx\",\"value\":%s}",
+          static_cast<unsigned long long>(i),
+          static_cast<unsigned long long>(h.exemplars[i].trace_id),
+          JsonDouble(h.exemplars[i].value).c_str());
+    }
     out += StrFormat("],\"count\":%lld,\"sum\":%s",
                      static_cast<long long>(h.count),
                      JsonDouble(h.sum).c_str());
@@ -232,8 +272,15 @@ std::string MetricsSnapshot::ToPrometheusText() const {
       cumulative += h.buckets[i];
       const std::string le =
           i < h.bounds.size() ? prom_double(h.bounds[i]) : "+Inf";
-      out += StrFormat("%s_bucket{le=\"%s\"} %lld\n", prom.c_str(),
+      out += StrFormat("%s_bucket{le=\"%s\"} %lld", prom.c_str(),
                        le.c_str(), static_cast<long long>(cumulative));
+      if (i < h.exemplars.size() && h.exemplars[i].trace_id != 0) {
+        out += StrFormat(
+            " # {trace_id=\"%016llx\"} %s",
+            static_cast<unsigned long long>(h.exemplars[i].trace_id),
+            prom_double(h.exemplars[i].value).c_str());
+      }
+      out += '\n';
     }
     out += StrFormat("%s_sum %s\n", prom.c_str(),
                      prom_double(h.sum).c_str());

@@ -55,6 +55,15 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// A recent-sample exemplar attached to a histogram bucket: the trace id
+// of one observation that landed there, plus that observation's value.
+// Lets the p99 bucket in /metrics link straight to an offending trace in
+// /v1/traces. trace_id == 0 means "no exemplar recorded".
+struct Exemplar {
+  uint64_t trace_id = 0;
+  double value = 0.0;
+};
+
 // Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
 // (bounds ascending); one implicit overflow bucket counts the rest.
 // Observe is lock-free: bucket counts and the total count are relaxed
@@ -65,17 +74,33 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double v);
+  // Observe plus a last-write-wins exemplar stamp on the sample's
+  // bucket. The (trace_id, value) pair is two relaxed stores, so a
+  // racing reader may pair a trace id with a neighboring sample's value
+  // — acceptable for "a recent sample", and race-free under TSan.
+  // trace_id 0 degrades to plain Observe.
+  void ObserveWithExemplar(double v, uint64_t trace_id);
 
   const std::vector<double>& bounds() const { return bounds_; }
   // bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<int64_t> BucketCounts() const;
+  // bounds().size() + 1 entries aligned with BucketCounts().
+  std::vector<Exemplar> Exemplars() const;
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   void Reset();
 
  private:
+  struct ExemplarSlot {
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<double> value{0.0};
+  };
+
+  size_t BucketIndex(double v) const;
+
   std::vector<double> bounds_;
   std::vector<std::atomic<int64_t>> buckets_;
+  std::vector<ExemplarSlot> exemplars_;
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
@@ -85,6 +110,7 @@ struct MetricsSnapshot {
   struct HistogramData {
     std::vector<double> bounds;
     std::vector<int64_t> buckets;  // bounds.size() + 1 (overflow last)
+    std::vector<Exemplar> exemplars;  // aligned with buckets
     int64_t count = 0;
     double sum = 0.0;
 
@@ -101,14 +127,17 @@ struct MetricsSnapshot {
 
   // One JSON object (single line, no trailing newline), keys sorted:
   // {"counters":{...},"gauges":{...},"histograms":{...}}. Histograms
-  // include precomputed "p50"/"p95"/"p99" quantile estimates.
+  // include precomputed "p50"/"p95"/"p99" quantile estimates and any
+  // per-bucket exemplars ({"bucket":i,"trace_id":"<hex>","value":v}).
   std::string ToJson() const;
 
   // Prometheus text exposition format (version 0.0.4): one "# TYPE" line
   // plus samples per metric, in name order. Metric names are sanitized
   // ('/' and any other character outside [a-zA-Z0-9_:] become '_') and
   // prefixed "sgcl_"; histograms expose cumulative "_bucket{le=...}"
-  // series (including le="+Inf") plus "_sum" and "_count".
+  // series (including le="+Inf") plus "_sum" and "_count". Buckets with
+  // an exemplar append the OpenMetrics suffix
+  // `# {trace_id="<hex>"} <value>` to their sample line.
   std::string ToPrometheusText() const;
 };
 

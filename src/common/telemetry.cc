@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -11,6 +13,37 @@
 #include "common/trace.h"
 
 namespace sgcl {
+namespace {
+
+// Value of `key` in a raw query string ("a=1&b=2"); empty when absent.
+// No %-decoding: every /v1/traces parameter is numeric.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return std::string();
+}
+
+int64_t QueryInt(const std::string& query, const std::string& key,
+                 int64_t fallback) {
+  const std::string v = QueryParam(query, key);
+  if (v.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (errno != 0 || end == v.c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+}  // namespace
 
 std::string GenerateRunId() {
   static std::atomic<int> counter{0};
@@ -135,6 +168,38 @@ void RegisterDiagnosticsHandlers(HttpServer* server,
                     JsonEscape(__VERSION__) + "\"}";
     return response;
   });
+  // Sampled trace ring: list (newest first, ?min_duration_us= &limit=
+  // filters, ?detail=1 inlines flat span lists — the trace_report dump
+  // format) and per-trace span trees at /v1/traces/<hex id>.
+  server->Handle("/v1/traces", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    const int64_t min_duration_us =
+        QueryInt(request.query, "min_duration_us", 0);
+    const int64_t limit = QueryInt(request.query, "limit", 0);
+    const bool detail = QueryInt(request.query, "detail", 0) != 0;
+    response.body = TraceRing::Global().ListJson(
+        min_duration_us, static_cast<int>(limit), detail);
+    return response;
+  });
+  server->HandlePrefix("/v1/traces/", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    const std::string id_text =
+        request.path.substr(std::string("/v1/traces/").size());
+    const uint64_t trace_id = ParseTraceId(id_text);
+    std::string tree =
+        trace_id == 0 ? std::string() : TraceRing::Global().TreeJson(trace_id);
+    if (tree.empty()) {
+      response.status = 404;
+      response.body = StrFormat(
+          "{\"error\":{\"code\":404,\"message\":\"unknown trace %s\"}}",
+          JsonEscape(id_text).c_str());
+      return response;
+    }
+    response.body = std::move(tree);
+    return response;
+  });
 }
 
 TelemetryServer::~TelemetryServer() { Stop(); }
@@ -161,7 +226,7 @@ Status TelemetryServer::Start(int port, const RunStatusBoard* board) {
   SGCL_RETURN_NOT_OK(server_.Start(port));
   SGCL_LOG(INFO) << "telemetry listening on http://127.0.0.1:"
                  << server_.port()
-                 << " (/metrics /healthz /status /trace)";
+                 << " (/metrics /healthz /status /trace /v1/traces)";
   return Status::OK();
 }
 

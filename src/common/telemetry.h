@@ -10,6 +10,9 @@
 //             in-progress epoch, last losses, per-stage seconds).
 //   /trace    Current chrome://tracing dump of the global TraceCollector
 //             (empty traceEvents when collection is disabled).
+//   /v1/traces       Sampled trace ring summaries, newest first
+//                    (?min_duration_us=, ?limit=, ?detail=1 for spans).
+//   /v1/traces/<id>  Span tree for one sampled trace (16-hex-digit id).
 //
 // Correlation: every export is stamped with the process run id
 // (logging's SetRunId/GetRunId), the same id the JSONL log sink writes,
@@ -79,8 +82,9 @@ class RunStatusBoard {
 };
 
 // Registers the shared diagnostics handlers — GET /metrics (Prometheus
-// text of the global registry) and GET /healthz (JSON liveness stamped
-// with run id/version/uptime) — on any HttpServer. Used by both the
+// text of the global registry), GET /healthz (JSON liveness stamped
+// with run id/version/uptime), and the GET /v1/traces[/<id>] views of
+// the global TraceRing — on any HttpServer. Used by both the
 // telemetry endpoint and the inference service (serve/service.*) so
 // every HTTP surface in the process is scrapable the same way. `start`
 // anchors the reported uptime.

@@ -1,4 +1,6 @@
-// Scoped trace spans exported as chrome://tracing "trace event" JSON.
+// Scoped trace spans exported as chrome://tracing "trace event" JSON,
+// plus request-scoped trace trees collected into a bounded in-memory
+// ring buffer (served live at /v1/traces).
 //
 // Usage at an instrumentation site:
 //   void Stage() {
@@ -9,11 +11,30 @@
 // (the "time/<stage>_us" convention consumed by SgclTrainer):
 //   SGCL_TRACE_SPAN_TIMED("generator");   // counter "time/generator_us"
 //
-// Collection is off by default: a disabled span costs one relaxed atomic
-// load and no clock reads (TIMED spans keep feeding their counter either
-// way — metrics are always-on). Enable with
-// TraceCollector::Global().Enable(true), then WriteChromeTrace() produces
-// a file loadable by chrome://tracing / Perfetto.
+// Two independent sinks consume spans:
+//
+//  1. TraceCollector — the chrome-trace file exporter from PR 2.
+//     Off by default; Enable(true) + WriteChromeTrace() produces a file
+//     loadable by chrome://tracing / Perfetto.
+//
+//  2. TraceRing — an always-on bounded ring of *sampled* request/batch
+//     traces. A root is opened with TraceRing::MaybeStartTrace() (a
+//     deterministic every-Nth sampler; rate 0 disables), installed as
+//     the thread's ambient TraceContext via ScopedTraceContext, and
+//     every TraceSpan that runs under an ambient context becomes a node
+//     in that trace's span tree (64-bit trace id + parent span id).
+//     When the root span closes, the assembled tree is committed to the
+//     ring (oldest trace evicted) and is queryable as JSON.
+//
+// Crossing a thread boundary is explicit: capture CurrentTraceContext()
+// on the submitting side, install it with ScopedTraceContext inside the
+// worker. Nothing is propagated implicitly through thread pools.
+//
+// Cost when disabled: a disabled span costs one relaxed atomic load for
+// the chrome collector plus one thread-local read for the ambient
+// context, and no clock reads (TIMED spans keep feeding their counter
+// either way — metrics are always-on). MaybeStartTrace with rate 0 is
+// one relaxed load.
 //
 // Span conventions: names are "<subsystem>/<what>" (stage-level, not
 // per-node — spans inside tight loops belong at chunk granularity).
@@ -25,8 +46,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -34,7 +57,43 @@
 
 namespace sgcl {
 
-// Process-wide sink for completed spans. Thread-safe.
+// Identity of the trace (and enclosing span) a piece of work belongs to.
+// trace_id == 0 means "not traced"; span_id is the id of the innermost
+// open span, i.e. the parent for any span started under this context.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+// The calling thread's ambient context ({0,0} when untraced).
+TraceContext CurrentTraceContext();
+
+// Formats a trace id as the 16-digit lowercase hex string used in JSON,
+// HTTP paths, and response headers; ParseTraceId accepts the same form
+// (with or without a "0x" prefix) and returns 0 on malformed input.
+std::string FormatTraceId(uint64_t trace_id);
+uint64_t ParseTraceId(const std::string& text);
+
+// RAII install/restore of the ambient TraceContext. Used to carry a
+// context across explicit thread boundaries (batcher dispatch thread,
+// prefetcher pool workers); installing an invalid context is a no-op so
+// untraced work pays nothing.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+  bool installed_ = false;
+};
+
+// Process-wide sink for completed spans (chrome-trace export). Thread-safe.
 class TraceCollector {
  public:
   struct Event {
@@ -42,6 +101,12 @@ class TraceCollector {
     int tid = 0;
     int64_t start_us = 0;  // relative to the collector's epoch
     int64_t dur_us = 0;
+    // Trace-tree identity; all zero for spans recorded outside a
+    // sampled trace. Exported as chrome "args" so offline tools can
+    // rebuild the tree from the file.
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span_id = 0;
   };
 
   TraceCollector();
@@ -77,27 +142,132 @@ class TraceCollector {
   std::vector<Event> events_;
 };
 
+// Bounded ring of completed sampled traces. Always on (capacity bounds
+// memory); sampling rate controls how many roots open. Thread-safe.
+class TraceRing {
+ public:
+  struct Span {
+    std::string name;
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span_id = 0;  // 0 == root
+    int tid = 0;
+    int64_t start_us = 0;
+    int64_t dur_us = 0;
+  };
+
+  struct Trace {
+    uint64_t trace_id = 0;
+    std::string root_name;
+    int64_t start_us = 0;
+    int64_t dur_us = 0;        // root span duration
+    std::vector<Span> spans;   // includes the root, completion order
+  };
+
+  TraceRing();
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Sampling: rate in [0,1]; 0 disables. Implemented as a deterministic
+  // every-Nth admission (period = round(1/rate)) off a relaxed atomic
+  // counter — no RNG, so sampled runs stay reproducible (sgcl-R2).
+  void SetSampleRate(double rate);
+  double sample_rate() const;
+
+  // Ring capacity in completed traces (default 256; minimum 1).
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
+  // Opens a new trace if the sampler admits this call. The returned
+  // context has span_id == 0: the first TraceSpan run under it becomes
+  // the trace's root, and its completion commits the trace to the ring.
+  // Returns an invalid context (trace_id 0) when not sampled.
+  TraceContext MaybeStartTrace();
+
+  // Appends a completed span to its (open) trace; called by TraceSpan
+  // and by instrumentation that synthesizes spans with explicit
+  // timestamps (e.g. the micro-batcher's queue_wait). Spans for unknown
+  // or already-committed traces are dropped. A span with
+  // parent_span_id == 0 commits the trace.
+  void RecordSpan(Span span);
+
+  // Fresh span id (process-wide, never 0).
+  static uint64_t NextSpanId();
+
+  // Completed traces, newest first.
+  std::vector<Trace> Traces() const;
+  // Number of traces committed since construction/Clear (not capped by
+  // capacity — used by tests and /v1/traces metadata).
+  uint64_t committed_count() const;
+  void Clear();  // drops completed traces and in-flight span buffers
+
+  // JSON for /v1/traces: newest-first summaries filtered by
+  // min_duration_us, capped at limit (<=0 means no cap). When
+  // include_spans is set, each trace carries its flat span list —
+  // the dump format tools/trace_report ingests.
+  std::string ListJson(int64_t min_duration_us, int limit,
+                       bool include_spans) const;
+  // JSON span tree for /v1/traces/<id>; empty string when unknown.
+  std::string TreeJson(uint64_t trace_id) const;
+
+  static TraceRing& Global();
+
+ private:
+  void CommitLocked(uint64_t trace_id);
+
+  std::atomic<uint64_t> period_{0};      // 0 == sampling off
+  std::atomic<uint64_t> admit_seq_{0};   // every-Nth admission counter
+  std::atomic<uint64_t> trace_seq_{0};   // mixed into trace ids
+
+  mutable std::mutex mu_;
+  size_t capacity_ = 256;
+  uint64_t committed_count_ = 0;
+  std::deque<Trace> completed_;  // oldest at front
+  // In-flight traces: spans buffered until the root span closes. A
+  // trace id is "open" iff it has an entry here; spans for other ids
+  // (late arrivals after commit, foreign ids) are dropped.
+  std::unordered_map<uint64_t, std::vector<Span>> pending_;
+};
+
+// Records a completed span with explicit timestamps (collector-epoch
+// µs, i.e. TraceCollector::NowUs values) as a child of `parent`. Used
+// by instrumentation that reconstructs phases after the fact (the
+// micro-batcher's per-request queue_wait/batch_form/forward). Feeds the
+// chrome collector (when enabled) and the trace ring; no-op returning 0
+// when `parent` is invalid. Returns the span's id. Passing a nonzero
+// `span_id` (from TraceRing::NextSpanId) uses it instead of allocating;
+// this lets callers pre-allocate an id, run nested work under
+// ScopedTraceContext{trace_id, span_id}, and record the enclosing span
+// afterwards with the children already pointing at it.
+uint64_t RecordManualSpan(const char* name, TraceContext parent,
+                          int64_t start_us, int64_t end_us,
+                          uint64_t span_id = 0);
+
 // RAII span. When `time_counter` is non-null the scope's duration is
-// always added to it (in µs); the trace event itself is only recorded
-// while the global collector is enabled.
+// always added to it (in µs); the chrome trace event is only recorded
+// while the global collector is enabled, and the span only joins a
+// TraceRing trace when the thread's ambient TraceContext is valid (in
+// which case the span also becomes the ambient parent for its scope).
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* name, Counter* time_counter = nullptr)
-      : name_(name), counter_(time_counter) {
-    tracing_ = TraceCollector::Global().enabled();
-    if (tracing_ || counter_ != nullptr) {
-      start_us_ = TraceCollector::Global().NowUs();
-    }
-  }
+  explicit TraceSpan(const char* name, Counter* time_counter = nullptr);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  // Identity of this span while open ({0,0} when the span is not part
+  // of a sampled trace). Lets instrumentation attach the id to
+  // exemplars/headers without reaching back into thread-locals.
+  TraceContext context() const { return TraceContext{trace_id_, span_id_}; }
+
  private:
   const char* name_;
   Counter* counter_;
-  bool tracing_ = false;
+  bool chrome_ = false;       // record into TraceCollector on close
+  uint64_t trace_id_ = 0;     // nonzero => part of a ring trace
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
   int64_t start_us_ = 0;
 };
 

@@ -332,6 +332,13 @@ Result<PretrainStats> SgclTrainer::Pretrain(const GraphSource& source,
                        StageSeconds(MetricsRegistry::Global().Snapshot()));
         return stats;
       }
+      // Maybe open a sampled trace rooted at this batch: train/batch
+      // becomes the root span and the stage spans below (plus any
+      // prefetch/decode work this batch schedules) nest under it.
+      // Sampling never touches rng_ (deterministic atomic counter), so
+      // losses are bitwise-independent of the rate.
+      const TraceContext batch_trace = TraceRing::Global().MaybeStartTrace();
+      ScopedTraceContext batch_trace_install(batch_trace);
       SGCL_TRACE_SPAN("train/batch");
       SGCL_ASSIGN_OR_RETURN(const FetchedGraphs fetched, prefetcher.Next());
       optimizer_->ZeroGrad();

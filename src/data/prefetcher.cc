@@ -4,6 +4,7 @@
 
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace sgcl {
 
@@ -36,6 +37,8 @@ void BatchPrefetcher::BeginEpoch(std::vector<std::vector<int64_t>> batches) {
 
 void BatchPrefetcher::Schedule() {
   if (next_to_schedule_ >= batches_.size()) return;
+  static Gauge* const queue_depth =
+      MetricsRegistry::Global().GetGauge("prefetch/queue_depth");
   auto slot = std::make_shared<Slot>();
   const std::vector<int64_t>* indices = &batches_[next_to_schedule_];
   ++next_to_schedule_;
@@ -43,15 +46,26 @@ void BatchPrefetcher::Schedule() {
     std::lock_guard<std::mutex> lock(mu_);
     inflight_.push_back(slot);
     ++outstanding_;
+    queue_depth->Set(static_cast<double>(outstanding_));
   }
-  GlobalThreadPool().Submit([this, slot, indices] {
+  // Capture the scheduler's ambient TraceContext: when a sampled
+  // training batch schedules this fetch, the fetch's spans join that
+  // batch's trace across the pool-thread boundary.
+  const TraceContext trace_ctx = CurrentTraceContext();
+  GlobalThreadPool().Submit([this, slot, indices, trace_ctx] {
+    ScopedTraceContext trace_install(trace_ctx);
     FetchedGraphs fetched;
-    const Status status = source_->Fetch(*indices, &fetched);
+    Status status = Status::OK();
+    {
+      SGCL_TRACE_SPAN("stream/prefetch_fetch");
+      status = source_->Fetch(*indices, &fetched);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     slot->status = status;
     if (status.ok()) slot->result = std::move(fetched);
     slot->done = true;
     --outstanding_;
+    queue_depth->Set(static_cast<double>(outstanding_));
     cv_.notify_all();
   });
 }
@@ -66,6 +80,9 @@ Result<FetchedGraphs> BatchPrefetcher::Next() {
   }
   static Counter* const stall_counter =
       MetricsRegistry::Global().GetCounter("prefetch/consumer_stalls");
+  static Histogram* const stall_us = MetricsRegistry::Global().GetHistogram(
+      "prefetch/stall_us",
+      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000, 250000});
   std::shared_ptr<Slot> slot;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -75,7 +92,12 @@ Result<FetchedGraphs> BatchPrefetcher::Next() {
     if (!slot->done) {
       // The consumer outran the pipeline — the stall the bench watches.
       stall_counter->Increment();
+      const int64_t stall_start_us = TraceCollector::Global().NowUs();
       cv_.wait(lock, [&] { return slot->done; });
+      const int64_t stall_end_us = TraceCollector::Global().NowUs();
+      stall_us->Observe(static_cast<double>(stall_end_us - stall_start_us));
+      RecordManualSpan("stream/consumer_stall", CurrentTraceContext(),
+                       stall_start_us, stall_end_us);
     }
   }
   ++next_to_return_;

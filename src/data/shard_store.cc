@@ -8,7 +8,9 @@
 #include "common/crc32.h"
 #include "common/fault.h"
 #include "common/io.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "graph/graph_record.h"
 
 namespace sgcl {
@@ -363,25 +365,46 @@ ShardedGraphStore::DecodeShard(int64_t shard) const {
 
 Result<std::shared_ptr<const ShardedGraphStore::DecodedShard>>
 ShardedGraphStore::GetShard(int64_t shard) const {
+  // Decoded-shard LRU cache visibility: hit/miss/eviction counters plus
+  // the read+CRC+decode latency of every miss. Process-wide names (one
+  // series across stores), matching the "stream/" metric family.
+  static Counter* const cache_hits =
+      MetricsRegistry::Global().GetCounter("stream/shard_cache_hits");
+  static Counter* const cache_misses =
+      MetricsRegistry::Global().GetCounter("stream/shard_cache_misses");
+  static Counter* const cache_evictions =
+      MetricsRegistry::Global().GetCounter("stream/shard_cache_evictions");
+  static Histogram* const fetch_us = MetricsRegistry::Global().GetHistogram(
+      "stream/shard_fetch_us",
+      {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000});
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = cache_.begin(); it != cache_.end(); ++it) {
       if (it->first == shard) {
         cache_.splice(cache_.begin(), cache_, it);  // move to front (MRU)
+        cache_hits->Increment();
         return cache_.front().second;
       }
     }
   }
+  cache_misses->Increment();
   // Decode outside the lock so concurrent Fetches of different shards
   // overlap. Two threads may race on the same shard and both decode it —
   // harmless (both results are identical; the second insert wins).
-  SGCL_ASSIGN_OR_RETURN(std::shared_ptr<const DecodedShard> decoded,
-                        DecodeShard(shard));
+  const int64_t decode_start_us = TraceCollector::Global().NowUs();
+  std::shared_ptr<const DecodedShard> decoded;
+  {
+    SGCL_TRACE_SPAN("stream/shard_decode");
+    SGCL_ASSIGN_OR_RETURN(decoded, DecodeShard(shard));
+  }
+  fetch_us->Observe(static_cast<double>(TraceCollector::Global().NowUs() -
+                                        decode_start_us));
   std::lock_guard<std::mutex> lock(mu_);
   ++decode_count_;
   cache_.emplace_front(shard, decoded);
   while (static_cast<int>(cache_.size()) > options_.max_cached_shards) {
     cache_.pop_back();
+    cache_evictions->Increment();
   }
   return decoded;
 }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace sgcl {
 namespace serve {
@@ -28,6 +29,19 @@ struct MicroBatcher::Pending {
   const std::vector<Graph>* graphs;
   int64_t total_nodes;
   std::chrono::steady_clock::time_point enqueue_time;
+  // Submitter's ambient TraceContext (the request's root span), captured
+  // at enqueue so the dispatch thread can attribute this request's
+  // queue_wait / batch_form phases to its trace.
+  TraceContext trace_ctx;
+  int64_t enqueue_us = 0;  // collector-epoch µs, only set when traced
+  // Stamped by RunBatch before the promise resolves (the fulfilment is
+  // the synchronization point): the submitter records its serve/forward
+  // span from run_start_us to its own wake-up, so result delivery and
+  // scheduler latency are attributed to the trace instead of appearing
+  // as a gap between forward and encode. The span id is pre-allocated on
+  // the dispatch thread so serve/infer_* spans nest under it.
+  int64_t run_start_us = 0;
+  uint64_t forward_span_id = 0;
   std::promise<Result<std::vector<std::vector<float>>>> promise;
 };
 
@@ -96,6 +110,10 @@ Result<std::vector<std::vector<float>>> MicroBatcher::Submit(
   pending.graphs = &graphs;
   pending.total_nodes = TotalNodes(graphs);
   pending.enqueue_time = std::chrono::steady_clock::now();
+  pending.trace_ctx = CurrentTraceContext();
+  if (pending.trace_ctx.valid()) {
+    pending.enqueue_us = TraceCollector::Global().NowUs();
+  }
   auto future = pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -114,7 +132,15 @@ Result<std::vector<std::vector<float>>> MicroBatcher::Submit(
     submitted_->Increment();
   }
   cv_.notify_one();
-  return future.get();
+  Result<std::vector<std::vector<float>>> result = future.get();
+  if (pending.trace_ctx.valid() && pending.run_start_us > 0) {
+    // The request's forward phase, closed at wake-up: the model time is
+    // the nested serve/infer_* span, the rest is delivery + scheduling.
+    RecordManualSpan("serve/forward", pending.trace_ctx,
+                     pending.run_start_us, TraceCollector::Global().NowUs(),
+                     pending.forward_span_id);
+  }
+  return result;
 }
 
 void MicroBatcher::DispatchLoop() {
@@ -122,10 +148,12 @@ void MicroBatcher::DispatchLoop() {
     std::vector<Pending*> batch;
     int64_t batch_graphs = 0;
     int64_t batch_nodes = 0;
+    int64_t form_start_us = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (stopping_ && queue_.empty()) return;
+      form_start_us = TraceCollector::Global().NowUs();
 
       // FILLING: admit the oldest request unconditionally, then keep
       // admitting while the caps hold — waiting out the timeout window
@@ -165,11 +193,12 @@ void MicroBatcher::DispatchLoop() {
       }
       queue_depth_->Set(static_cast<double>(queue_.size()));
     }
-    if (!batch.empty()) RunBatch(std::move(batch));
+    if (!batch.empty()) RunBatch(std::move(batch), form_start_us);
   }
 }
 
-void MicroBatcher::RunBatch(std::vector<Pending*> batch) {
+void MicroBatcher::RunBatch(std::vector<Pending*> batch,
+                            int64_t form_start_us) {
   const auto now = std::chrono::steady_clock::now();
   std::vector<const Graph*> graphs;
   for (const Pending* p : batch) {
@@ -179,6 +208,21 @@ void MicroBatcher::RunBatch(std::vector<Pending*> batch) {
             .count()));
     for (const Graph& g : *p->graphs) graphs.push_back(&g);
   }
+  // Forward span ids are pre-allocated so spans recorded *inside* the
+  // forward (inference_session) can nest under them; the forwards run
+  // under the first traced request's context.
+  const int64_t run_start_us = TraceCollector::Global().NowUs();
+  std::vector<uint64_t> forward_span_ids(batch.size(), 0);
+  TraceContext forward_ctx;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!batch[i]->trace_ctx.valid()) continue;
+    forward_span_ids[i] = TraceRing::NextSpanId();
+    if (!forward_ctx.valid()) {
+      forward_ctx =
+          TraceContext{batch[i]->trace_ctx.trace_id, forward_span_ids[i]};
+    }
+  }
+  ScopedTraceContext forward_guard(forward_ctx);
   // The caps are hard limits on one fused forward, not just on batch
   // formation: formation admits the oldest request unconditionally, so a
   // single request larger than the caps reaches here intact and is split
@@ -227,6 +271,22 @@ void MicroBatcher::RunBatch(std::vector<Pending*> batch) {
       for (std::vector<float>& row : chunk_rows) rows.push_back(std::move(row));
     }
     begin = end;
+  }
+  // Attribute this batch's pre-execution phases to every traced request
+  // before any promise resolves (the request root span closes on the
+  // submitter's thread right after; spans arriving later would be
+  // dropped), and stamp the forward timing so the submitter can close
+  // its serve/forward span at wake-up.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Pending* p = batch[i];
+    if (!p->trace_ctx.valid()) continue;
+    const int64_t form_us = std::max(p->enqueue_us, form_start_us);
+    RecordManualSpan("serve/queue_wait", p->trace_ctx, p->enqueue_us,
+                     form_us);
+    RecordManualSpan("serve/batch_form", p->trace_ctx, form_us,
+                     run_start_us);
+    p->run_start_us = run_start_us;
+    p->forward_span_id = forward_span_ids[i];
   }
   size_t next_row = 0;
   for (Pending* p : batch) {

@@ -95,7 +95,10 @@ class MicroBatcher {
  private:
   struct Pending;
   void DispatchLoop();
-  void RunBatch(std::vector<Pending*> batch);
+  // `form_start_us` is the collector-epoch time batch formation opened
+  // (first admit), used to split traced requests' pre-execution time
+  // into queue_wait vs. batch_form spans.
+  void RunBatch(std::vector<Pending*> batch, int64_t form_start_us);
 
   const std::string name_;
   const MicroBatcherOptions options_;

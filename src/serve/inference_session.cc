@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "common/trace.h"
 #include "graph/graph_batch.h"
 
 namespace sgcl {
@@ -68,6 +69,7 @@ Status InferenceSession::EmbedBatch(
     const std::vector<const Graph*>& graphs,
     std::vector<std::vector<float>>* rows) const {
   if (graphs.empty()) return Status::OK();
+  SGCL_TRACE_SPAN("serve/infer_embed");
   const GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
   const int64_t dim = embed_dim();
   if (plan_k_.valid()) {
@@ -91,6 +93,7 @@ Status InferenceSession::PredictBatch(
     const std::vector<const Graph*>& graphs,
     std::vector<std::vector<float>>* rows) const {
   if (graphs.empty()) return Status::OK();
+  SGCL_TRACE_SPAN("serve/infer_predict");
   const GraphBatch batch = GraphBatch::FromGraphPtrs(graphs);
   const int64_t dim = embed_dim();
   const Tensor& w = model_->prob_head().weight();  // [hidden, 1]

@@ -1,11 +1,13 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace sgcl {
 namespace serve {
@@ -78,6 +80,9 @@ ServeService::~ServeService() { Stop(); }
 
 Status ServeService::Start() {
   start_ = std::chrono::steady_clock::now();
+  TraceRing::Global().SetSampleRate(options_.trace_sample_rate);
+  TraceRing::Global().SetCapacity(
+      static_cast<size_t>(std::max<int64_t>(1, options_.trace_ring_size)));
   SGCL_RETURN_NOT_OK(embed_batcher_->Start());
   SGCL_RETURN_NOT_OK(predict_batcher_->Start());
 
@@ -112,7 +117,7 @@ Status ServeService::Start() {
   }
   SGCL_LOG(INFO) << "serve listening on http://127.0.0.1:" << server_.port()
                  << " (POST /v1/embed /v1/predict; GET /v1/info /status "
-                    "/metrics /healthz)";
+                    "/metrics /healthz /v1/traces)";
   return Status::OK();
 }
 
@@ -137,36 +142,58 @@ HttpResponse ServeService::HandleGraphsRequest(const HttpRequest& request,
 
   const auto t0 = std::chrono::steady_clock::now();
   requests->Increment();
-  auto parsed = ParseGraphsRequest(request.body, session_.feat_dim(),
-                                   options_.limits);
-  if (!parsed.ok()) {
-    errors->Increment();
-    return JsonError(400, parsed.status());
-  }
-  const std::vector<Graph>& graphs = *parsed;
-  graphs_total->Increment(static_cast<int64_t>(graphs.size()));
-
-  auto rows = batcher->Submit(graphs);
+  // Maybe open a sampled trace for this request; the root span below
+  // becomes the tree's root and every phase (parse, queue wait, batch
+  // formation, forward, encode) hangs off it. The id goes back to the
+  // client in X-Sgcl-Trace and onto the latency exemplar so a p99
+  // bucket in /metrics resolves to a /v1/traces/<id> lookup.
+  const TraceContext root_ctx = TraceRing::Global().MaybeStartTrace();
+  const uint64_t trace_id = root_ctx.trace_id;
+  ScopedTraceContext trace_install(root_ctx);
   HttpResponse response;
-  if (!rows.ok()) {
-    errors->Increment();
-    if (rows.status().code() == StatusCode::kUnavailable) {
-      response = JsonError(503, rows.status());
-      response.extra_headers.push_back(
-          {"Retry-After", std::to_string(options_.retry_after_s)});
-    } else if (rows.status().code() == StatusCode::kInvalidArgument) {
-      response = JsonError(400, rows.status());
+  {
+    TraceSpan root_span("serve/request");
+    auto parsed = [&] {
+      SGCL_TRACE_SPAN("serve/parse");
+      return ParseGraphsRequest(request.body, session_.feat_dim(),
+                                options_.limits);
+    }();
+    if (!parsed.ok()) {
+      errors->Increment();
+      response = JsonError(400, parsed.status());
     } else {
-      response = JsonError(500, rows.status());
+      const std::vector<Graph>& graphs = *parsed;
+      graphs_total->Increment(static_cast<int64_t>(graphs.size()));
+
+      auto rows = batcher->Submit(graphs);
+      if (!rows.ok()) {
+        errors->Increment();
+        if (rows.status().code() == StatusCode::kUnavailable) {
+          response = JsonError(503, rows.status());
+          response.extra_headers.push_back(
+              {"Retry-After", std::to_string(options_.retry_after_s)});
+        } else if (rows.status().code() == StatusCode::kInvalidArgument) {
+          response = JsonError(400, rows.status());
+        } else {
+          response = JsonError(500, rows.status());
+        }
+      } else {
+        SGCL_TRACE_SPAN("serve/encode");
+        response.content_type = "application/json";
+        response.body =
+            FormatRowsResponse(response_key, *rows, dim_or_negative);
+      }
     }
-  } else {
-    response.content_type = "application/json";
-    response.body = FormatRowsResponse(response_key, *rows, dim_or_negative);
+  }  // root span closes here, committing the trace to the ring
+  latency->ObserveWithExemplar(
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      trace_id);
+  if (trace_id != 0) {
+    response.extra_headers.push_back({"X-Sgcl-Trace", FormatTraceId(trace_id)});
   }
-  latency->Observe(static_cast<double>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count()));
   return response;
 }
 

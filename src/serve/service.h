@@ -9,6 +9,7 @@
 //                     batch occupancy, queue depth, config
 //   GET  /metrics     Prometheus text (shared diagnostics handler)
 //   GET  /healthz     liveness (shared diagnostics handler)
+//   GET  /v1/traces[/<id>]  sampled request span trees (shared handler)
 //
 // Error contract: malformed JSON / wrong shapes -> 400, unknown routes
 // -> 404, oversized bodies -> 413 (all with a JSON error body); a full
@@ -41,6 +42,13 @@ struct ServeOptions {
   RequestLimits limits;         // per-request graph/node caps
   // Retry-After value (seconds) attached to 503 overload responses.
   int retry_after_s = 1;
+  // Request tracing: fraction of requests sampled into the global
+  // TraceRing (deterministic every-Nth; 0 = off) and the ring's
+  // capacity in traces. A sampled request's span tree is queryable at
+  // /v1/traces/<id>; the id is echoed in an X-Sgcl-Trace response
+  // header and stamped on latency-histogram exemplars.
+  double trace_sample_rate = 0.0;
+  int64_t trace_ring_size = 256;
 };
 
 class ServeService {

@@ -109,6 +109,51 @@ TEST(HttpServerTest, HeadOmitsBody) {
   EXPECT_EQ(Body(response), "");
 }
 
+TEST(HttpServerTest, PrefixHandlerMatchesSubPaths) {
+  HttpServer server;
+  server.Handle("/v1/traces", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "list";
+    return response;
+  });
+  server.HandlePrefix("/v1/traces/", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "trace:" + request.path;
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  // Exact routes win over prefixes; the prefix catches everything under
+  // it, query split still applies.
+  EXPECT_EQ(Body(Get(server.port(), "/v1/traces")), "list");
+  EXPECT_EQ(Body(Get(server.port(), "/v1/traces/abc123")),
+            "trace:/v1/traces/abc123");
+  EXPECT_EQ(Body(Get(server.port(), "/v1/traces/abc123?x=1")),
+            "trace:/v1/traces/abc123");
+  // Non-GET on a prefix route is 405, unmatched paths stay 404.
+  const std::string post =
+      Fetch(server.port(), "POST /v1/traces/abc123 HTTP/1.1");
+  EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos);
+  const std::string miss = Get(server.port(), "/v1/trace");
+  EXPECT_NE(miss.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST(HttpServerTest, LongestPrefixWins) {
+  HttpServer server;
+  server.HandlePrefix("/api/", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "short";
+    return response;
+  });
+  server.HandlePrefix("/api/deep/", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "long";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_EQ(Body(Get(server.port(), "/api/x")), "short");
+  EXPECT_EQ(Body(Get(server.port(), "/api/deep/x")), "long");
+}
+
 TEST(HttpServerTest, MalformedRequestIs400) {
   HttpServer server;
   server.Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });

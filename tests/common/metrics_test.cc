@@ -118,8 +118,54 @@ TEST(MetricsSnapshotTest, JsonRoundTripShape) {
             "{\"counters\":{\"a/count\":5},"
             "\"gauges\":{\"b/gauge\":2.5},"
             "\"histograms\":{\"c/hist\":{\"bounds\":[1],"
-            "\"buckets\":[1,1],\"count\":2,\"sum\":7.5,"
+            "\"buckets\":[1,1],\"exemplars\":[],\"count\":2,\"sum\":7.5,"
             "\"p50\":1,\"p95\":1,\"p99\":1}}}");
+}
+
+TEST(HistogramExemplarTest, LastExemplarPerBucketWins) {
+  Histogram h({10.0, 100.0});
+  h.ObserveWithExemplar(5.0, 0xaaa);     // bucket 0
+  h.ObserveWithExemplar(7.0, 0xbbb);     // bucket 0, overwrites
+  h.ObserveWithExemplar(50.0, 0xccc);    // bucket 1
+  h.ObserveWithExemplar(5000.0, 0xddd);  // overflow bucket
+  h.Observe(6.0);  // plain Observe never touches exemplars
+  const std::vector<Exemplar> ex = h.Exemplars();
+  ASSERT_EQ(ex.size(), 3u);
+  EXPECT_EQ(ex[0].trace_id, 0xbbbu);
+  EXPECT_DOUBLE_EQ(ex[0].value, 7.0);
+  EXPECT_EQ(ex[1].trace_id, 0xcccu);
+  EXPECT_EQ(ex[2].trace_id, 0xdddu);
+  EXPECT_EQ(h.count(), 5);  // exemplar observes still count
+}
+
+TEST(HistogramExemplarTest, ZeroTraceIdLeavesNoExemplar) {
+  // The serve path calls ObserveWithExemplar unconditionally; unsampled
+  // requests pass trace_id 0 and must not clobber a real exemplar.
+  Histogram h({10.0});
+  h.ObserveWithExemplar(5.0, 0x123);
+  h.ObserveWithExemplar(6.0, 0);
+  EXPECT_EQ(h.Exemplars()[0].trace_id, 0x123u);
+  EXPECT_EQ(h.count(), 2);
+  h.Reset();
+  EXPECT_EQ(h.Exemplars()[0].trace_id, 0u);
+}
+
+TEST(HistogramExemplarTest, ExemplarsSurfaceInJsonAndPrometheus) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_us", {10.0, 100.0});
+  h->ObserveWithExemplar(42.0, 0xdeadbeef);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"exemplars\":[{\"bucket\":1,"
+                      "\"trace_id\":\"00000000deadbeef\",\"value\":42}]"),
+            std::string::npos);
+  const std::string prom = snap.ToPrometheusText();
+  // OpenMetrics-style exemplar suffix on the owning bucket line only.
+  EXPECT_NE(prom.find("sgcl_lat_us_bucket{le=\"100\"} 1 "
+                      "# {trace_id=\"00000000deadbeef\"} 42"),
+            std::string::npos);
+  EXPECT_NE(prom.find("sgcl_lat_us_bucket{le=\"10\"} 0\n"),
+            std::string::npos);
 }
 
 TEST(MetricsSnapshotTest, JsonEscapingAndNonFinite) {

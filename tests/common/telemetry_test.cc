@@ -211,6 +211,57 @@ TEST(TelemetryServerTest, ConcurrentScrapesDuringMetricWrites) {
   server.Stop();
 }
 
+TEST(TelemetryServerTest, TraceEndpointsServeSampledTraces) {
+  TraceRing::Global().SetSampleRate(1.0);
+  TraceRing::Global().SetCapacity(8);
+  TraceRing::Global().Clear();
+  const TraceContext ctx = TraceRing::Global().MaybeStartTrace();
+  ASSERT_TRUE(ctx.valid());
+  {
+    ScopedTraceContext install(ctx);
+    TraceSpan root("test/request");
+    { SGCL_TRACE_SPAN("test/forward"); }
+  }
+  const std::string id = FormatTraceId(ctx.trace_id);
+
+  RunStatusBoard board;
+  TelemetryServer server;
+  ASSERT_TRUE(server.Start(0, &board).ok());
+
+  // Summary list, newest first, no spans without ?detail=1.
+  const std::string list = Get(server.port(), "/v1/traces");
+  EXPECT_NE(list.find("\"trace_id\":\"" + id + "\""), std::string::npos);
+  EXPECT_NE(list.find("\"root\":\"test/request\""), std::string::npos);
+  EXPECT_EQ(list.find("\"spans\":["), std::string::npos);
+
+  const std::string detail = Get(server.port(), "/v1/traces?detail=1&limit=1");
+  EXPECT_NE(detail.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(detail.find("test/forward"), std::string::npos);
+
+  // A min-duration filter past any test span excludes everything.
+  const std::string filtered =
+      Get(server.port(), "/v1/traces?min_duration_us=999999999");
+  EXPECT_NE(filtered.find("\"traces\":[]"), std::string::npos);
+
+  // Per-trace span tree via the prefix route.
+  const std::string tree = Get(server.port(), "/v1/traces/" + id);
+  EXPECT_NE(tree.find("\"root\":{\"name\":\"test/request\""),
+            std::string::npos);
+  EXPECT_NE(tree.find("\"self_us\":"), std::string::npos);
+  EXPECT_NE(tree.find("test/forward"), std::string::npos);
+
+  // Unknown and malformed ids are structured 404s, not crashes.
+  const std::string missing =
+      Get(server.port(), "/v1/traces/00000000000000ab");
+  EXPECT_NE(missing.find("unknown trace"), std::string::npos);
+  const std::string malformed = Get(server.port(), "/v1/traces/not-hex");
+  EXPECT_NE(malformed.find("unknown trace"), std::string::npos);
+
+  server.Stop();
+  TraceRing::Global().SetSampleRate(0.0);
+  TraceRing::Global().Clear();
+}
+
 TEST(GenerateRunIdTest, IdsAreUniqueAndPrefixed) {
   const std::string a = GenerateRunId();
   const std::string b = GenerateRunId();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "data/synthetic_tu.h"
 #include "gtest/gtest.h"
 
@@ -120,6 +121,41 @@ TEST(SgclTrainerTest, ObserverDoesNotPerturbTraining) {
     EXPECT_EQ(reports[e].mean_loss, observed_stats->epoch_losses[e]);
     EXPECT_GT(reports[e].batches, 0);
   }
+}
+
+TEST(SgclTrainerTest, TraceSamplingDoesNotPerturbTraining) {
+  // Sampling draws from a deterministic atomic counter, never from the
+  // training RNG, so every-batch tracing must leave the losses bitwise
+  // identical to an untraced run.
+  GraphDataset ds = SmallDataset();
+  SgclConfig cfg = SmallConfig(ds.feat_dim());
+
+  TraceRing::Global().SetSampleRate(0.0);
+  TraceRing::Global().Clear();
+  SgclTrainer untraced(cfg, /*seed=*/17);
+  auto untraced_stats = untraced.Pretrain(ds);
+  ASSERT_TRUE(untraced_stats.ok());
+
+  TraceRing::Global().SetSampleRate(1.0);
+  TraceRing::Global().SetCapacity(16);
+  TraceRing::Global().Clear();
+  SgclTrainer traced(cfg, /*seed=*/17);
+  auto traced_stats = traced.Pretrain(ds);
+  ASSERT_TRUE(traced_stats.ok());
+
+  ASSERT_EQ(untraced_stats->epoch_losses.size(),
+            traced_stats->epoch_losses.size());
+  for (size_t e = 0; e < untraced_stats->epoch_losses.size(); ++e) {
+    EXPECT_EQ(untraced_stats->epoch_losses[e], traced_stats->epoch_losses[e])
+        << "epoch " << e;
+  }
+  // And the run actually produced batch-rooted traces.
+  EXPECT_GT(TraceRing::Global().committed_count(), 0u);
+  EXPECT_NE(TraceRing::Global().ListJson(0, 1, true).find("train/batch"),
+            std::string::npos);
+
+  TraceRing::Global().SetSampleRate(0.0);
+  TraceRing::Global().Clear();
 }
 
 TEST(SgclTrainerTest, CancellationStopsEarly) {

@@ -1,8 +1,12 @@
 #include "data/prefetcher.h"
 
+#include <chrono>
 #include <filesystem>
+#include <thread>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "data/shard_store.h"
 #include "data/synthetic_molecule.h"
 #include "gtest/gtest.h"
@@ -99,6 +103,100 @@ TEST(PrefetcherTest, ReusableAcrossEpochs) {
     }
     EXPECT_EQ(graphs, 10);
   }
+  fs::remove_all(dir);
+}
+
+// Delegating source whose Fetch sleeps first: makes consumer stalls
+// deterministic (the consumer always outruns a 5 ms fetch).
+class SlowSource : public GraphSource {
+ public:
+  SlowSource(const GraphSource* inner, int sleep_ms)
+      : inner_(inner), sleep_ms_(sleep_ms) {}
+  const std::string& name() const override { return inner_->name(); }
+  int num_classes() const override { return inner_->num_classes(); }
+  int num_tasks() const override { return inner_->num_tasks(); }
+  int64_t size() const override { return inner_->size(); }
+  Result<int64_t> FeatDim() const override { return inner_->FeatDim(); }
+  uint64_t ContentFingerprint() const override {
+    return inner_->ContentFingerprint();
+  }
+  Status Fetch(std::span<const int64_t> indices,
+               FetchedGraphs* out) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms_));
+    return inner_->Fetch(indices, out);
+  }
+
+ private:
+  const GraphSource* inner_;
+  int sleep_ms_;
+};
+
+TEST(PrefetcherTest, StallAndQueueDepthMetricsSurface) {
+  const std::string dir = MakeStore("prefetch_metrics", 8, 4);
+  auto store = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  SlowSource slow(store->get(), /*sleep_ms=*/5);
+
+  // Process-wide metrics: measure deltas.
+  Counter* stalls =
+      MetricsRegistry::Global().GetCounter("prefetch/consumer_stalls");
+  const int64_t stalls0 = stalls->value();
+  const int64_t hist0 = [] {
+    const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    const auto it = snap.histograms.find("prefetch/stall_us");
+    return it == snap.histograms.end() ? int64_t{0} : it->second.count;
+  }();
+
+  PrefetcherOptions opt;
+  opt.depth = 1;
+  BatchPrefetcher pf(&slow, opt);
+  pf.BeginEpoch(MakeBatches(8, 4));
+  // Next() immediately after BeginEpoch must wait out the 5 ms fetch —
+  // that wait is the stall the metrics attribute.
+  while (pf.remaining() > 0) ASSERT_TRUE(pf.Next().ok());
+
+  EXPECT_GE(stalls->value() - stalls0, 1);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto hist = snap.histograms.find("prefetch/stall_us");
+  ASSERT_NE(hist, snap.histograms.end());
+  EXPECT_GE(hist->second.count - hist0, 1);
+  // The pipeline is drained, so the depth gauge must read zero again.
+  const auto gauge = snap.gauges.find("prefetch/queue_depth");
+  ASSERT_NE(gauge, snap.gauges.end());
+  EXPECT_EQ(gauge->second, 0.0);
+  fs::remove_all(dir);
+}
+
+TEST(PrefetcherTest, FetchSpansJoinTheSchedulersTrace) {
+  const std::string dir = MakeStore("prefetch_trace", 8, 4);
+  auto store = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  SlowSource slow(store->get(), /*sleep_ms=*/2);
+
+  TraceRing::Global().SetSampleRate(1.0);
+  TraceRing::Global().SetCapacity(8);
+  TraceRing::Global().Clear();
+  const TraceContext ctx = TraceRing::Global().MaybeStartTrace();
+  ASSERT_TRUE(ctx.valid());
+  {
+    ScopedTraceContext install(ctx);
+    TraceSpan root("test/epoch");
+    PrefetcherOptions opt;
+    opt.depth = 1;
+    BatchPrefetcher pf(&slow, opt);
+    pf.BeginEpoch(MakeBatches(8, 4));
+    while (pf.remaining() > 0) ASSERT_TRUE(pf.Next().ok());
+  }  // root closes -> trace commits
+
+  // The pool-thread fetches crossed the thread boundary into the
+  // scheduler's trace, and the consumer's wait shows up as a stall span.
+  const std::string tree = TraceRing::Global().TreeJson(ctx.trace_id);
+  ASSERT_FALSE(tree.empty());
+  EXPECT_NE(tree.find("stream/prefetch_fetch"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("stream/consumer_stall"), std::string::npos) << tree;
+
+  TraceRing::Global().SetSampleRate(0.0);
+  TraceRing::Global().Clear();
   fs::remove_all(dir);
 }
 

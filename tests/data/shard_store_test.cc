@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/crc32.h"
+#include "common/metrics.h"
 #include "data/synthetic_molecule.h"
 #include "gtest/gtest.h"
 
@@ -146,6 +147,56 @@ TEST(ShardStoreTest, CacheBoundsDecodesAndPinsSurviveEviction) {
   FetchedGraphs d;
   ASSERT_TRUE((*store)->Fetch(std::vector<int64_t>{1}, &d).ok());
   EXPECT_EQ((*store)->shard_decodes(), 4);
+  fs::remove_all(dir);
+}
+
+TEST(ShardStoreTest, CacheCountersTrackHitsMissesAndEvictions) {
+  GraphDataset ds = MakeZincLikeDataset(9, /*seed=*/8);
+  const std::string dir = TempDir("shard_cache_metrics");
+  WriteStore(ds, dir, /*graphs_per_shard=*/3);
+  ShardStoreOptions opt;
+  opt.max_cached_shards = 1;
+  auto store = ShardedGraphStore::Open(dir, opt);
+  ASSERT_TRUE(store.ok());
+
+  // The stream/ counters are process-wide, so measure deltas.
+  Counter* hits =
+      MetricsRegistry::Global().GetCounter("stream/shard_cache_hits");
+  Counter* misses =
+      MetricsRegistry::Global().GetCounter("stream/shard_cache_misses");
+  Counter* evictions =
+      MetricsRegistry::Global().GetCounter("stream/shard_cache_evictions");
+  const int64_t hits0 = hits->value();
+  const int64_t misses0 = misses->value();
+  const int64_t evictions0 = evictions->value();
+
+  // Warm fetch: shard 0 decode is a miss, the repeat is a hit.
+  FetchedGraphs out;
+  ASSERT_TRUE((*store)->Fetch(std::vector<int64_t>{0, 1}, &out).ok());
+  ASSERT_TRUE((*store)->Fetch(std::vector<int64_t>{2}, &out).ok());
+  EXPECT_EQ(hits->value() - hits0, 1);
+  EXPECT_EQ(misses->value() - misses0, 1);
+  EXPECT_EQ(evictions->value() - evictions0, 0);
+
+  // Shard 1 then shard 2: two more misses, each evicting (cache size 1).
+  ASSERT_TRUE((*store)->Fetch(std::vector<int64_t>{3}, &out).ok());
+  ASSERT_TRUE((*store)->Fetch(std::vector<int64_t>{6}, &out).ok());
+  EXPECT_EQ(misses->value() - misses0, 3);
+  EXPECT_EQ(evictions->value() - evictions0, 2);
+
+  // A scan that revisits every shard once (cache size 1, 3 shards) can
+  // never hit: hit ratio over the run is 1/(1+5) and every decode paid
+  // the fetch-latency histogram.
+  ASSERT_TRUE((*store)->Fetch(std::vector<int64_t>{0, 3, 6}, &out).ok());
+  const int64_t total_hits = hits->value() - hits0;
+  const int64_t total_misses = misses->value() - misses0;
+  EXPECT_EQ(total_hits, 1);
+  EXPECT_EQ(total_misses, 6);
+  EXPECT_EQ(total_misses, (*store)->shard_decodes());
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const auto it = snap.histograms.find("stream/shard_fetch_us");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_GE(it->second.count, total_misses);
   fs::remove_all(dir);
 }
 

@@ -23,6 +23,7 @@
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "core/sgcl_config.h"
 #include "core/sgcl_model.h"
 
@@ -292,6 +293,99 @@ TEST_F(ServiceTest, OverloadGets503WithRetryAfter) {
   release.set_value();
   executing.join();
   queued.join();
+}
+
+// Value of a response header (empty when absent).
+std::string HeaderValue(const std::string& response, const std::string& name) {
+  const size_t pos = response.find(name + ": ");
+  if (pos == std::string::npos) return "";
+  const size_t start = pos + name.size() + 2;
+  const size_t end = response.find("\r\n", start);
+  return response.substr(start, end - start);
+}
+
+TEST_F(ServiceTest, TracedRequestEchoesIdAndServesSpanTree) {
+  ServeOptions options;
+  options.batcher.batch_timeout_us = 0;
+  options.trace_sample_rate = 1.0;
+  options.trace_ring_size = 16;
+  StartService(options);
+  TraceRing::Global().Clear();
+
+  const std::string response = Post(port_, "/v1/embed", OneGraphBody());
+  ASSERT_TRUE(HasStatus(response, "200")) << response;
+  const std::string id = HeaderValue(response, "X-Sgcl-Trace");
+  ASSERT_EQ(id.size(), 16u) << response;
+
+  // The id resolves to a span tree whose root is the request and whose
+  // children tile the request's life: parse, queue wait, batch
+  // formation, forward (with the model forward nested under it), and
+  // response encode.
+  const std::string tree = Body(Get(port_, "/v1/traces/" + id));
+  EXPECT_NE(tree.find("\"trace_id\":\"" + id + "\""), std::string::npos)
+      << tree;
+  EXPECT_NE(tree.find("\"root\":{\"name\":\"serve/request\""),
+            std::string::npos)
+      << tree;
+  for (const char* stage :
+       {"serve/parse", "serve/queue_wait", "serve/batch_form",
+        "serve/forward", "serve/infer_embed", "serve/encode"}) {
+    EXPECT_NE(tree.find(stage), std::string::npos) << stage << "\n" << tree;
+  }
+  // serve/infer_embed must nest *under* serve/forward, not beside it
+  // (otherwise stage self-times double-count the model forward).
+  const size_t forward = tree.find("\"name\":\"serve/forward\"");
+  const size_t infer = tree.find("\"name\":\"serve/infer_embed\"");
+  ASSERT_NE(forward, std::string::npos);
+  ASSERT_NE(infer, std::string::npos);
+  EXPECT_LT(forward, infer);
+
+  // The list endpoint sees the same trace; the p99-path exemplar in
+  // /metrics points at a committed trace id — this is the p99 debugging
+  // loop: /metrics exemplar -> /v1/traces/<id>.
+  const std::string list = Body(Get(port_, "/v1/traces"));
+  EXPECT_NE(list.find("\"trace_id\":\"" + id + "\""), std::string::npos);
+  const std::string metrics = Body(Get(port_, "/metrics"));
+  EXPECT_NE(metrics.find("# {trace_id=\"" + id + "\"}"), std::string::npos)
+      << metrics;
+
+  TraceRing::Global().SetSampleRate(0.0);
+  TraceRing::Global().Clear();
+}
+
+TEST_F(ServiceTest, UnsampledRequestsCarryNoTraceArtifacts) {
+  ServeOptions options;
+  options.batcher.batch_timeout_us = 0;
+  options.trace_sample_rate = 0.0;
+  StartService(options);
+  TraceRing::Global().Clear();
+  const std::string response = Post(port_, "/v1/embed", OneGraphBody());
+  ASSERT_TRUE(HasStatus(response, "200"));
+  EXPECT_EQ(HeaderValue(response, "X-Sgcl-Trace"), "");
+  const std::string list = Body(Get(port_, "/v1/traces"));
+  EXPECT_NE(list.find("\"traces\":[]"), std::string::npos) << list;
+}
+
+TEST_F(ServiceTest, SampledEmbeddingsAreBitwiseIdenticalToUnsampled) {
+  // Tracing must be observation-only: the served bytes cannot change
+  // when every request is sampled.
+  ServeOptions options;
+  options.batcher.batch_timeout_us = 0;
+  options.trace_sample_rate = 0.0;
+  StartService(options);
+  const std::string untraced = Body(Post(port_, "/v1/embed", OneGraphBody()));
+  ASSERT_FALSE(FirstRow(untraced).empty());
+  service_->Stop();
+
+  ServeOptions traced_options = options;
+  traced_options.trace_sample_rate = 1.0;
+  StartService(traced_options);
+  TraceRing::Global().Clear();
+  const std::string traced = Body(Post(port_, "/v1/embed", OneGraphBody()));
+  EXPECT_EQ(untraced, traced);
+
+  TraceRing::Global().SetSampleRate(0.0);
+  TraceRing::Global().Clear();
 }
 
 TEST_F(ServiceTest, InfoAndStatusDescribeTheService) {

@@ -30,6 +30,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -80,6 +81,10 @@ class HttpClient {
   }
 
   int64_t reconnects() const { return reconnects_; }
+
+  // Trace id echoed by the server in X-Sgcl-Trace on the most recent
+  // response (empty when the request was not sampled).
+  const std::string& last_trace_id() const { return last_trace_id_; }
 
  private:
   Status Connect() {
@@ -136,6 +141,7 @@ class HttpClient {
     const int code = std::atoi(buf.c_str() + sp + 1);
     // Content-Length framing (the server always sends it).
     size_t content_length = 0;
+    last_trace_id_.clear();
     {
       const std::string lower = [&] {
         std::string h = buf.substr(0, header_end);
@@ -150,6 +156,16 @@ class HttpClient {
           std::atoll(lower.c_str() + pos + std::strlen("content-length:")));
       if (lower.find("connection: close") != std::string::npos) {
         must_close_ = true;
+      }
+      // Trace ids are lowercase hex, so parsing the lowered headers is
+      // lossless.
+      const size_t tpos = lower.find("x-sgcl-trace:");
+      if (tpos != std::string::npos) {
+        size_t v = tpos + std::strlen("x-sgcl-trace:");
+        while (v < lower.size() && lower[v] == ' ') ++v;
+        size_t end = v;
+        while (end < lower.size() && std::isxdigit(lower[end])) ++end;
+        last_trace_id_ = lower.substr(v, end - v);
       }
     }
     const size_t body_start = header_end + 4;
@@ -170,6 +186,7 @@ class HttpClient {
   int fd_ = -1;
   bool must_close_ = false;
   int64_t reconnects_ = 0;
+  std::string last_trace_id_;
 };
 
 // A connected random graph: spanning tree over `nodes` plus
@@ -229,6 +246,9 @@ std::string SerializeRequest(const std::string& path, const std::string& body,
 
 struct WorkerStats {
   std::vector<double> lat_us;  // post-warmup samples
+  // (latency_us, trace_id) for post-warmup responses the server sampled
+  // (X-Sgcl-Trace header present) — feeds --slowest-traces.
+  std::vector<std::pair<double, std::string>> traced;
   int64_t sent = 0;
   int64_t ok = 0;
   int64_t http_errors = 0;
@@ -284,6 +304,7 @@ int Run(int argc, char** argv) {
   std::string out_json;
   std::string compare;
   double threshold_pct = 25.0;
+  int64_t slowest_traces = 0;
   FlagSet flags("serve_load");
   flags.Int("port", &port, "sgcl_cli serve port (required)");
   flags.String("endpoint", &endpoint, "embed|predict");
@@ -313,6 +334,10 @@ int Run(int argc, char** argv) {
                "(report-only)");
   flags.Double("threshold-pct", &threshold_pct,
                "report --compare slowdowns past this percentage");
+  flags.Int64("slowest-traces", &slowest_traces,
+              "print the trace ids of the K worst-latency sampled "
+              "requests (needs the server started with "
+              "--trace-sample-rate > 0; look them up at /v1/traces/<id>)");
   const Status st = flags.Parse(argc, argv, 1);
   if (flags.help_requested()) {
     std::printf("%s", flags.Help().c_str());
@@ -439,8 +464,12 @@ int Run(int argc, char** argv) {
           ++mine.http_errors;
         }
         if (t1 > warmup_end && *code == 200) {
-          mine.lat_us.push_back(
-              std::chrono::duration<double, std::micro>(t1 - t0).count());
+          const double us =
+              std::chrono::duration<double, std::micro>(t1 - t0).count();
+          mine.lat_us.push_back(us);
+          if (!client.last_trace_id().empty()) {
+            mine.traced.emplace_back(us, client.last_trace_id());
+          }
         }
       }
       mine.reconnects = client.reconnects();
@@ -451,10 +480,12 @@ int Run(int argc, char** argv) {
       std::chrono::duration<double>(Clock::now() - warmup_end).count();
 
   std::vector<double> lat;
+  std::vector<std::pair<double, std::string>> traced;
   int64_t sent = 0, ok = 0, http_errors = 0, transport_errors = 0,
           reconnects = 0;
   for (WorkerStats& s : stats) {
     lat.insert(lat.end(), s.lat_us.begin(), s.lat_us.end());
+    traced.insert(traced.end(), s.traced.begin(), s.traced.end());
     sent += s.sent;
     ok += s.ok;
     http_errors += s.http_errors;
@@ -509,6 +540,25 @@ int Run(int argc, char** argv) {
               "rejected %lld\n",
               static_cast<long long>(batches), batch_mean, batch_p95,
               static_cast<long long>(rejected));
+
+  if (slowest_traces > 0) {
+    if (traced.empty()) {
+      std::printf("  slowest traces: none sampled (start the server with "
+                  "--trace-sample-rate > 0)\n");
+    } else {
+      std::sort(traced.begin(), traced.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      const size_t k = std::min(traced.size(),
+                                static_cast<size_t>(slowest_traces));
+      std::printf("  slowest traces (%zu of %zu sampled; "
+                  "GET /v1/traces/<id> on port %d):\n",
+                  k, traced.size(), port);
+      for (size_t i = 0; i < k; ++i) {
+        std::printf("    %s  %.0f us\n", traced[i].second.c_str(),
+                    traced[i].first);
+      }
+    }
+  }
 
   const double interval_us = achieved_qps > 0.0 ? 1e6 / achieved_qps : 0.0;
   const std::vector<std::pair<std::string, double>> entries = {

@@ -156,12 +156,29 @@ struct ModelFlags {
   }
 };
 
+// Shared validation for the request/batch tracing flags. Fail-fast:
+// a typo'd rate is a clean error before any work starts.
+Status ValidateTraceFlags(double sample_rate, int64_t ring_size) {
+  if (sample_rate < 0.0 || sample_rate > 1.0) {
+    return Status::InvalidArgument(
+        "--trace-sample-rate must be in [0, 1], got " +
+        std::to_string(sample_rate));
+  }
+  if (ring_size < 1) {
+    return Status::InvalidArgument(
+        "--trace-ring-size must be >= 1, got " + std::to_string(ring_size));
+  }
+  return Status::OK();
+}
+
 // Observability wiring shared by pretrain and bench.
 struct ObservabilityFlags {
   std::string metrics_out;
   std::string trace_out;
   std::string log_json;
   int http_port = -1;
+  double trace_sample_rate = 0.0;
+  int64_t trace_ring_size = 256;
 
   void Register(FlagSet* flags) {
     flags->String("metrics-out", &metrics_out,
@@ -176,8 +193,16 @@ struct ObservabilityFlags {
                   "the log level to info)");
     flags->Int("http-port", &http_port,
                "serve live telemetry on 127.0.0.1:<port> for the duration "
-               "of the run (/metrics /healthz /status /trace); 0 picks an "
-               "ephemeral port, -1 disables");
+               "of the run (/metrics /healthz /status /trace /v1/traces); "
+               "0 picks an ephemeral port, -1 disables");
+    flags->Double("trace-sample-rate", &trace_sample_rate,
+                  "sample this fraction of training batches into the "
+                  "in-memory trace ring (deterministic every-Nth, never "
+                  "touches the training RNG; 0 disables; span trees at "
+                  "/v1/traces when --http-port is set)");
+    flags->Int64("trace-ring-size", &trace_ring_size,
+                 "capacity of the in-memory trace ring, in traces "
+                 "(oldest evicted first)");
   }
 };
 
@@ -319,6 +344,11 @@ Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
     collector.Clear();
     collector.Enable(true);
   }
+  SGCL_RETURN_NOT_OK(
+      ValidateTraceFlags(obs.trace_sample_rate, obs.trace_ring_size));
+  TraceRing::Global().SetSampleRate(obs.trace_sample_rate);
+  TraceRing::Global().SetCapacity(static_cast<size_t>(obs.trace_ring_size));
+  TraceRing::Global().Clear();  // per-run isolation, like the metrics
   MetricsRegistry::Global().Reset();  // per-run isolation
 
   RunStatusBoard board;
@@ -740,6 +770,8 @@ int CmdServe(int argc, char** argv) {
   int64_t max_request_graphs = 64;
   int64_t max_request_nodes = 2048;
   double duration_s = 0.0;
+  double trace_sample_rate = 0.0;
+  int64_t trace_ring_size = 256;
   ModelFlags model_flags;
   FlagSet flags("sgcl_cli serve");
   flags.String("model", &model_path, "checkpoint to serve");
@@ -769,9 +801,20 @@ int CmdServe(int argc, char** argv) {
   flags.Double("duration-s", &duration_s,
                "serve for this many seconds then exit; 0 = until "
                "SIGINT/SIGTERM");
+  flags.Double("trace-sample-rate", &trace_sample_rate,
+               "sample this fraction of requests into the in-memory trace "
+               "ring (deterministic every-Nth; 0 disables); span trees at "
+               "GET /v1/traces/<id>, ids echoed in X-Sgcl-Trace");
+  flags.Int64("trace-ring-size", &trace_ring_size,
+              "capacity of the in-memory trace ring, in traces "
+              "(oldest evicted first)");
   model_flags.Register(&flags);
   if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
     return rc;
+  }
+  if (Status trc = ValidateTraceFlags(trace_sample_rate, trace_ring_size);
+      !trc.ok()) {
+    return Fail(trc);
   }
   if (feat_dim <= 0) {
     if (data.empty()) {
@@ -800,7 +843,10 @@ int CmdServe(int argc, char** argv) {
   options.limits.max_graphs = max_request_graphs;
   options.limits.max_total_nodes =
       std::min(max_request_nodes, max_batch_nodes);
+  options.trace_sample_rate = trace_sample_rate;
+  options.trace_ring_size = trace_ring_size;
   MetricsRegistry::Global().Reset();  // per-run isolation
+  TraceRing::Global().Clear();
   serve::ServeService service(&model, options);
   st = service.Start();
   if (!st.ok()) return Fail(st);
