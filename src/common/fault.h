@@ -40,6 +40,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sgcl {
 
@@ -102,12 +103,12 @@ class FaultInjector {
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
-  std::map<std::string, std::vector<Arming>> arms_;
-  std::map<std::string, int64_t> hit_counts_;
+  std::map<std::string, std::vector<Arming>> arms_ SGCL_GUARDED_BY(mu_);
+  std::map<std::string, int64_t> hit_counts_ SGCL_GUARDED_BY(mu_);
   // Bernoulli sweep state; active when random_p_ > 0.
-  double random_p_ = 0.0;
-  FaultKind random_kind_ = FaultKind::kError;
-  std::optional<Rng> random_rng_;
+  double random_p_ SGCL_GUARDED_BY(mu_) = 0.0;
+  FaultKind random_kind_ SGCL_GUARDED_BY(mu_) = FaultKind::kError;
+  std::optional<Rng> random_rng_ SGCL_GUARDED_BY(mu_);
 };
 
 // Test-scoped arming: Reset on construction and destruction, so a test

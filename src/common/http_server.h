@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sgcl {
 
@@ -143,7 +144,7 @@ class HttpServer {
   std::atomic<int64_t> requests_served_{0};
   HttpServerOptions options_;
   std::mutex conn_mu_;
-  std::set<int> active_fds_;
+  std::set<int> active_fds_ SGCL_GUARDED_BY(conn_mu_);
   int listen_fd_ = -1;
   int port_ = 0;
 };

@@ -1,13 +1,18 @@
+// Line pass, suppression handling, and orchestration of the lint
+// engine. The flow pass (tokenizer, declaration tables, R8-R10) lives
+// in lint_flow.cc; the split keeps each half reviewable.
 #include "common/lint.h"
 
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/lint_internal.h"
 #include "common/metrics.h"  // JsonEscape
 #include "common/string_util.h"
 
@@ -44,14 +49,16 @@ size_t SkipSpaces(const std::string& s, size_t pos) {
   return pos;
 }
 
-// Splits `content` into lines and blanks out comments, string literals
-// (including raw strings), and char literals, preserving line structure
-// and length so column-free line reporting stays accurate. `raw` gets
-// the untouched lines (NOLINT directives live inside comments).
+}  // namespace
+
+namespace internal {
+
 void ScrubLines(const std::string& content, std::vector<std::string>* raw,
-                std::vector<std::string>* scrubbed) {
+                std::vector<std::string>* scrubbed,
+                std::vector<int>* comment_cols) {
   raw->clear();
   scrubbed->clear();
+  if (comment_cols != nullptr) comment_cols->clear();
   std::vector<std::string> lines;
   {
     std::string cur;
@@ -71,6 +78,7 @@ void ScrubLines(const std::string& content, std::vector<std::string>* raw,
   std::string raw_delim;  // for kRawString: the )delim" terminator
   for (const std::string& line : lines) {
     raw->push_back(line);
+    int comment_col = -1;
     std::string out = line;
     size_t i = 0;
     while (i < out.size()) {
@@ -102,6 +110,7 @@ void ScrubLines(const std::string& content, std::vector<std::string>* raw,
       }
       const char c = out[i];
       if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+        comment_col = static_cast<int>(i);
         for (size_t j = i; j < out.size(); ++j) out[j] = ' ';
         break;
       }
@@ -150,53 +159,10 @@ void ScrubLines(const std::string& content, std::vector<std::string>* raw,
       ++i;
     }
     scrubbed->push_back(out);
+    if (comment_cols != nullptr) comment_cols->push_back(comment_col);
   }
 }
 
-// Per-line suppression parsed from NOLINT / NOLINTNEXTLINE comments.
-// An empty set means "no suppression"; the sentinel "*" means all rules.
-std::vector<std::set<std::string>> ParseSuppressions(
-    const std::vector<std::string>& raw) {
-  std::vector<std::set<std::string>> out(raw.size());
-  for (size_t i = 0; i < raw.size(); ++i) {
-    const std::string& line = raw[i];
-    size_t pos = 0;
-    while ((pos = line.find("NOLINT", pos)) != std::string::npos) {
-      const bool nextline =
-          line.compare(pos, std::string("NOLINTNEXTLINE").size(),
-                       "NOLINTNEXTLINE") == 0;
-      size_t after = pos + (nextline ? 14 : 6);
-      std::set<std::string>* target = nullptr;
-      if (nextline) {
-        if (i + 1 < raw.size()) target = &out[i + 1];
-      } else {
-        target = &out[i];
-      }
-      if (target != nullptr) {
-        if (after < line.size() && line[after] == '(') {
-          const size_t close = line.find(')', after);
-          const std::string cats =
-              close == std::string::npos
-                  ? line.substr(after + 1)
-                  : line.substr(after + 1, close - after - 1);
-          for (const std::string& cat : StrSplit(cats, ',')) {
-            const std::string c = Trim(cat);
-            if (c.rfind("sgcl-", 0) == 0) target->insert(c);
-          }
-        } else {
-          target->insert("*");  // bare NOLINT: everything
-        }
-      }
-      pos = after;
-    }
-  }
-  return out;
-}
-
-// ---- sgcl-R1 helpers -------------------------------------------------
-
-// Collects names of functions declared to return Status or Result<...>
-// on this (scrubbed) line.
 void CollectFallibleNames(const std::string& line,
                           std::set<std::string>* names) {
   for (size_t i = 0; i < line.size(); ++i) {
@@ -229,6 +195,95 @@ void CollectFallibleNames(const std::string& line,
     i = j;
   }
 }
+
+}  // namespace internal
+
+namespace {
+
+// ---- suppressions ----------------------------------------------------
+
+// One NOLINT / NOLINTNEXTLINE comment. Only a directive that opens its
+// comment (`// NOLINT...`) and names at least one sgcl rule (or is
+// bare) is `eligible` for stale reporting: prose that merely mentions
+// NOLINT, or string-literal fixtures containing one, never is.
+struct NolintComment {
+  int line_idx = 0;      // 0-based line of the comment itself
+  std::string rules;     // as written: "*" or "sgcl-R5, sgcl-R9"
+  bool eligible = false;
+  bool used = false;
+};
+
+struct Suppressions {
+  std::vector<NolintComment> comments;
+  // Per 0-based target line: (comment index, rule-or-"*") pairs.
+  std::vector<std::vector<std::pair<int, std::string>>> by_line;
+};
+
+Suppressions ParseSuppressions(const std::vector<std::string>& raw,
+                               const std::vector<int>& comment_cols) {
+  Suppressions out;
+  out.by_line.resize(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const std::string& line = raw[i];
+    size_t pos = 0;
+    while ((pos = line.find("NOLINT", pos)) != std::string::npos) {
+      const bool nextline =
+          line.compare(pos, std::string("NOLINTNEXTLINE").size(),
+                       "NOLINTNEXTLINE") == 0;
+      size_t after = pos + (nextline ? 14 : 6);
+      const size_t target =
+          nextline ? (i + 1 < raw.size() ? i + 1 : raw.size()) : i;
+      NolintComment comment;
+      comment.line_idx = static_cast<int>(i);
+      const int ccol = comment_cols[i];
+      comment.eligible =
+          ccol >= 0 &&
+          SkipSpaces(line, static_cast<size_t>(ccol) + 2) == pos;
+      std::vector<std::string> rules;
+      if (after < line.size() && line[after] == '(') {
+        const size_t close = line.find(')', after);
+        const std::string cats =
+            close == std::string::npos
+                ? line.substr(after + 1)
+                : line.substr(after + 1, close - after - 1);
+        for (const std::string& cat : StrSplit(cats, ',')) {
+          const std::string c = Trim(cat);
+          if (c.rfind("sgcl-", 0) == 0) rules.push_back(c);
+        }
+        if (rules.empty()) comment.eligible = false;  // not our categories
+        for (size_t r = 0; r < rules.size(); ++r) {
+          comment.rules += (r > 0 ? ", " : "") + rules[r];
+        }
+      } else {
+        // A bare directive must end the comment or carry a `: reason`;
+        // "NOLINT comments are consulted..." is prose, not a directive.
+        const bool word_end =
+            after >= line.size() ||
+            (!std::isalnum(static_cast<unsigned char>(line[after])) &&
+             line[after] != '_');
+        const size_t next = SkipSpaces(line, after);
+        const bool terminated = next >= line.size() || line[next] == ':';
+        if (!word_end || !terminated) {
+          pos = after;
+          continue;
+        }
+        rules.push_back("*");
+        comment.rules = "*";
+      }
+      const int ci = static_cast<int>(out.comments.size());
+      out.comments.push_back(comment);
+      if (target < raw.size()) {
+        for (const std::string& r : rules) {
+          out.by_line[target].push_back({ci, r});
+        }
+      }
+      pos = after;
+    }
+  }
+  return out;
+}
+
+// ---- sgcl-R1 helpers -------------------------------------------------
 
 bool IsMacroName(const std::string& name) {
   for (char c : name) {
@@ -339,111 +394,41 @@ std::string RuleMessageR2(const std::string& what) {
       what.c_str());
 }
 
-}  // namespace
+// ---- line pass (sgcl-R1..R7), pre-suppression ------------------------
 
-const char* SeverityToString(Severity severity) {
-  return severity == Severity::kWarning ? "warning" : "error";
-}
-
-Result<LintOptions> LoadAllowlist(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::NotFound(StrFormat("allowlist: cannot open %s",
-                                      path.c_str()));
-  }
-  LintOptions options;
-  std::string line;
-  int lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    std::string entry = line;
-    const size_t hash = line.find('#');
-    std::string reason;
-    if (hash != std::string::npos) {
-      entry = line.substr(0, hash);
-      reason = Trim(line.substr(hash + 1));
-    }
-    entry = Trim(entry);
-    if (entry.empty()) continue;  // blank or pure comment line
-    const size_t colon = entry.rfind(':');
-    if (colon == std::string::npos) {
-      return Status::InvalidArgument(
-          StrFormat("allowlist %s:%d: expected '<path>:<rule>  # reason', "
-                    "got '%s'",
-                    path.c_str(), lineno, entry.c_str()));
-    }
-    const std::string file = Trim(entry.substr(0, colon));
-    const std::string rule = Trim(entry.substr(colon + 1));
-    const bool valid_rule =
-        rule == "*" || (rule.size() == 7 && rule.rfind("sgcl-R", 0) == 0 &&
-                        rule[6] >= '1' && rule[6] <= '7');
-    if (file.empty() || !valid_rule) {
-      return Status::InvalidArgument(
-          StrFormat("allowlist %s:%d: bad entry '%s' (rule must be "
-                    "sgcl-R1..sgcl-R7 or *)",
-                    path.c_str(), lineno, entry.c_str()));
-    }
-    if (reason.empty()) {
-      return Status::InvalidArgument(
-          StrFormat("allowlist %s:%d: entry '%s' needs a '# reason' comment",
-                    path.c_str(), lineno, entry.c_str()));
-    }
-    options.allow.emplace_back(file, rule);
-  }
-  return options;
-}
-
-Linter::Linter(LintOptions options) : options_(std::move(options)) {}
-
-void Linter::AddFile(const std::string& path, const std::string& content) {
-  std::vector<std::string> raw, scrubbed;
-  ScrubLines(content, &raw, &scrubbed);
-  std::set<std::string> names(fallible_names_.begin(), fallible_names_.end());
-  for (const std::string& line : scrubbed) CollectFallibleNames(line, &names);
-  fallible_names_.assign(names.begin(), names.end());
-  files_.push_back({path, content});
-}
-
-bool Linter::Allowed(const std::string& path, const std::string& rule) const {
-  for (const auto& [file, allowed_rule] : options_.allow) {
-    if (file == path && (allowed_rule == "*" || allowed_rule == rule)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-void Linter::LintFile(const FileEntry& file, std::vector<Finding>* out) const {
-  std::vector<std::string> raw, scrubbed;
-  ScrubLines(file.content, &raw, &scrubbed);
-  const std::vector<std::set<std::string>> suppressed =
-      ParseSuppressions(raw);
+void LineRuleFindings(const std::string& path,
+                      const std::vector<std::string>& raw,
+                      const std::vector<std::string>& scrubbed,
+                      const std::vector<std::string>& fallible_names,
+                      std::vector<Finding>* out) {
   const bool is_header =
-      file.path.size() > 2 &&
-      file.path.compare(file.path.size() - 2, 2, ".h") == 0;
+      path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
 
   const auto emit = [&](size_t line_idx, const char* rule, Severity severity,
-                        std::string message) {
-    if (Allowed(file.path, rule)) return;
-    const std::set<std::string>& sup = suppressed[line_idx];
-    if (sup.count("*") != 0 || sup.count(rule) != 0) return;
-    out->push_back({file.path, static_cast<int>(line_idx + 1), rule, severity,
-                    std::move(message)});
+                        std::string message) -> Finding* {
+    Finding f;
+    f.file = path;
+    f.line = static_cast<int>(line_idx + 1);
+    f.rule = rule;
+    f.severity = severity;
+    f.message = std::move(message);
+    out->push_back(std::move(f));
+    return &out->back();
   };
 
-  const std::set<std::string> fallible(fallible_names_.begin(),
-                                       fallible_names_.end());
-  const bool rng_impl = file.path.rfind("src/common/rng.", 0) == 0;
+  const std::set<std::string> fallible(fallible_names.begin(),
+                                       fallible_names.end());
+  const bool rng_impl = path.rfind("src/common/rng.", 0) == 0;
   // R6 scope: production checkpoint-path sources. Tests are exempt —
   // corruption tests write torn files on purpose.
   const bool checkpoint_path =
-      file.path.rfind("tests/", 0) != 0 &&
-      (file.path.find("checkpoint") != std::string::npos ||
-       file.path.find("train_state") != std::string::npos);
+      path.rfind("tests/", 0) != 0 &&
+      (path.find("checkpoint") != std::string::npos ||
+       path.find("train_state") != std::string::npos);
   // R7 scope: the serving layer proper. Tools (which legitimately load
   // the checkpoint before handing the model to ServeService) and tests
   // are out of scope by construction.
-  const bool serve_path = file.path.rfind("src/serve/", 0) == 0;
+  const bool serve_path = path.rfind("src/serve/", 0) == 0;
 
   for (size_t li = 0; li < scrubbed.size(); ++li) {
     const std::string& line = scrubbed[li];
@@ -634,9 +619,11 @@ void Linter::LintFile(const FileEntry& file, std::vector<Finding>* out) const {
     }
   }
 
-  // R4a: include-guard name must derive from the file path.
+  // R4a: include-guard name must derive from the file path. A mismatch
+  // carries fixes renaming every directive-line occurrence of the
+  // actual guard (#ifndef, #define, and the #endif trailer).
   if (is_header) {
-    const std::string expected = ExpectedIncludeGuard(file.path);
+    const std::string expected = ExpectedIncludeGuard(path);
     size_t guard_line = std::string::npos;
     std::string actual;
     for (size_t li = 0; li < scrubbed.size(); ++li) {
@@ -652,38 +639,310 @@ void Linter::LintFile(const FileEntry& file, std::vector<Finding>* out) const {
            StrFormat("missing include guard (expected #ifndef %s)",
                      expected.c_str()));
     } else if (actual != expected) {
-      emit(guard_line, "sgcl-R4", Severity::kError,
-           StrFormat("include guard '%s' does not match path (expected %s)",
-                     actual.c_str(), expected.c_str()));
+      Finding* f = emit(
+          guard_line, "sgcl-R4", Severity::kError,
+          StrFormat("include guard '%s' does not match path (expected %s)",
+                    actual.c_str(), expected.c_str()));
+      if (!actual.empty()) {
+        for (size_t li = 0; li < raw.size(); ++li) {
+          if (Trim(scrubbed[li]).rfind("#", 0) != 0) continue;
+          for (size_t pos = 0; (pos = raw[li].find(actual, pos)) !=
+                               std::string::npos;
+               pos += actual.size()) {
+            if (!TokenAt(raw[li], pos, actual)) continue;
+            f->fixes.push_back({static_cast<int>(li + 1),
+                                static_cast<int>(pos),
+                                static_cast<int>(actual.size()), expected});
+          }
+        }
+      }
     } else {
       // The matching #define must follow.
       bool defined = false;
+      size_t define_line = std::string::npos;
+      std::string define_name;
       for (size_t li = guard_line + 1; li < scrubbed.size(); ++li) {
         const std::string t = Trim(scrubbed[li]);
         if (t.rfind("#define", 0) == 0) {
-          defined = Trim(t.substr(7)) == expected;
+          define_name = Trim(t.substr(7));
+          define_line = li;
+          defined = define_name == expected;
           break;
         }
       }
       if (!defined) {
-        emit(guard_line, "sgcl-R4", Severity::kError,
-             StrFormat("#ifndef %s is not followed by a matching #define",
-                       expected.c_str()));
+        Finding* f = emit(
+            guard_line, "sgcl-R4", Severity::kError,
+            StrFormat("#ifndef %s is not followed by a matching #define",
+                      expected.c_str()));
+        if (define_line != std::string::npos && !define_name.empty()) {
+          const size_t pos = raw[define_line].find(define_name);
+          if (pos != std::string::npos) {
+            f->fixes.push_back({static_cast<int>(define_line + 1),
+                                static_cast<int>(pos),
+                                static_cast<int>(define_name.size()),
+                                expected});
+          }
+        }
       }
     }
   }
 }
 
-std::vector<Finding> Linter::Run() const {
-  std::vector<Finding> findings;
-  for (const FileEntry& file : files_) LintFile(file, &findings);
-  std::sort(findings.begin(), findings.end(),
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;
               if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
             });
+}
+
+}  // namespace
+
+const char* SeverityToString(Severity severity) {
+  return severity == Severity::kWarning ? "warning" : "error";
+}
+
+Result<LintOptions> LoadAllowlist(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("allowlist: cannot open %s",
+                                      path.c_str()));
+  }
+  LintOptions options;
+  options.allowlist_path = path;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string entry = line;
+    const size_t hash = line.find('#');
+    std::string reason;
+    if (hash != std::string::npos) {
+      entry = line.substr(0, hash);
+      reason = Trim(line.substr(hash + 1));
+    }
+    entry = Trim(entry);
+    if (entry.empty()) continue;  // blank or pure comment line
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("allowlist %s:%d: expected '<path>:<rule>  # reason', "
+                    "got '%s'",
+                    path.c_str(), lineno, entry.c_str()));
+    }
+    const std::string file = Trim(entry.substr(0, colon));
+    const std::string rule = Trim(entry.substr(colon + 1));
+    bool valid_rule = rule == "*";
+    if (!valid_rule && rule.rfind("sgcl-R", 0) == 0) {
+      const std::string num = rule.substr(6);
+      int value = 0;
+      valid_rule = !num.empty() && num.size() <= 2 &&
+                   num.find_first_not_of("0123456789") == std::string::npos;
+      if (valid_rule) value = std::stoi(num);
+      valid_rule = valid_rule && value >= 1 && value <= 10;
+    }
+    if (file.empty() || !valid_rule) {
+      return Status::InvalidArgument(
+          StrFormat("allowlist %s:%d: bad entry '%s' (rule must be "
+                    "sgcl-R1..sgcl-R10 or *)",
+                    path.c_str(), lineno, entry.c_str()));
+    }
+    if (reason.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("allowlist %s:%d: entry '%s' needs a '# reason' comment",
+                    path.c_str(), lineno, entry.c_str()));
+    }
+    options.allow.push_back({file, rule, lineno});
+  }
+  return options;
+}
+
+FileAnalysis AnalyzeFile(const std::string& path, const std::string& content,
+                         const GlobalTables& tables,
+                         const LintOptions& options) {
+  std::vector<std::string> raw, scrubbed;
+  std::vector<int> comment_cols;
+  internal::ScrubLines(content, &raw, &scrubbed, &comment_cols);
+  Suppressions sup = ParseSuppressions(raw, comment_cols);
+
+  std::vector<Finding> candidates;
+  LineRuleFindings(path, raw, scrubbed, tables.fallible_names, &candidates);
+  internal::FlowResult flow =
+      internal::RunFlowPass(path, Tokenize(content), tables);
+  for (Finding& f : flow.findings) candidates.push_back(std::move(f));
+
+  FileAnalysis out;
+  std::set<std::pair<std::string, std::string>> used_allow;
+  // NOLINT comments are consulted before the allowlist, so an inline
+  // suppression always counts as "used" even when an allowlist entry
+  // would also cover the finding.
+  const auto comment_suppressed = [&](int line_1based,
+                                      const std::string& rule) {
+    const size_t idx = static_cast<size_t>(line_1based - 1);
+    if (line_1based <= 0 || idx >= sup.by_line.size()) return false;
+    bool any = false;
+    for (const auto& [ci, r] : sup.by_line[idx]) {
+      if (r == "*" || r == rule) {
+        sup.comments[ci].used = true;
+        any = true;
+      }
+    }
+    return any;
+  };
+  const auto allowed = [&](const std::string& rule) {
+    for (const AllowEntry& e : options.allow) {
+      if (e.file == path && (e.rule == "*" || e.rule == rule)) {
+        used_allow.insert({e.file, e.rule});
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (Finding& f : candidates) {
+    if (comment_suppressed(f.line, f.rule)) continue;
+    if (allowed(f.rule)) continue;
+    out.findings.push_back(std::move(f));
+  }
+  for (LockEdge& e : flow.edges) {
+    if (comment_suppressed(e.line, "sgcl-R9")) continue;
+    if (allowed("sgcl-R9")) continue;
+    out.edges.push_back(std::move(e));
+  }
+  if (options.report_stale_nolint) {
+    for (const NolintComment& c : sup.comments) {
+      if (c.eligible && !c.used) {
+        out.stale_nolints.push_back({c.line_idx + 1, c.rules});
+      }
+    }
+  }
+  out.used_allow.assign(used_allow.begin(), used_allow.end());
+  SortFindings(&out.findings);
+  return out;
+}
+
+std::string ApplyFixes(const std::string& path, const std::string& content,
+                       const std::vector<Finding>& findings) {
+  std::vector<FixEdit> edits;
+  for (const Finding& f : findings) {
+    if (f.file != path) continue;
+    edits.insert(edits.end(), f.fixes.begin(), f.fixes.end());
+  }
+  if (edits.empty()) return content;
+  // Bottom-up, right-to-left so earlier offsets stay valid.
+  std::sort(edits.begin(), edits.end(), [](const FixEdit& a, const FixEdit& b) {
+    if (a.line != b.line) return a.line > b.line;
+    return a.col > b.col;
+  });
+  std::vector<std::string> lines;
+  {
+    std::string cur;
+    for (char c : content) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    lines.push_back(cur);
+  }
+  int last_line = -1;
+  int last_col = -1;
+  for (const FixEdit& e : edits) {
+    if (e.line < 1 || static_cast<size_t>(e.line) > lines.size()) continue;
+    std::string& line = lines[e.line - 1];
+    if (e.col < 0 || static_cast<size_t>(e.col) > line.size()) continue;
+    // Overlap (same span edited twice): keep the first-applied edit.
+    if (e.line == last_line && e.col + e.len > last_col) continue;
+    const size_t len =
+        std::min(static_cast<size_t>(e.len), line.size() - e.col);
+    line.replace(static_cast<size_t>(e.col), len, e.replacement);
+    last_line = e.line;
+    last_col = e.col;
+  }
+  std::string out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) out += '\n';
+    out += lines[i];
+  }
+  return out;
+}
+
+Linter::Linter(LintOptions options) : options_(std::move(options)) {}
+
+void Linter::AddFile(const std::string& path, const std::string& content) {
+  FileDecls decls = ExtractDecls(content);
+  std::set<std::string> names(fallible_names_.begin(), fallible_names_.end());
+  names.insert(decls.fallible_names.begin(), decls.fallible_names.end());
+  fallible_names_.assign(names.begin(), names.end());
+  files_.push_back({path, content, std::move(decls)});
+}
+
+std::vector<Finding> MergeAnalyses(const std::vector<std::string>& paths,
+                                   const std::vector<FileAnalysis>& analyses,
+                                   const LintOptions& options) {
+  std::vector<Finding> findings;
+  std::vector<LockEdge> edges;
+  std::set<std::pair<std::string, std::string>> used_allow;
+  const size_t n = std::min(paths.size(), analyses.size());
+  for (size_t i = 0; i < n; ++i) {
+    const FileAnalysis& a = analyses[i];
+    findings.insert(findings.end(), a.findings.begin(), a.findings.end());
+    edges.insert(edges.end(), a.edges.begin(), a.edges.end());
+    for (const StaleNolint& s : a.stale_nolints) {
+      Finding f;
+      f.file = paths[i];
+      f.line = s.line;
+      f.rule = "sgcl-nolint";
+      f.severity = Severity::kWarning;
+      f.message = StrFormat("NOLINT(%s) suppresses nothing here; remove it",
+                            s.rules.c_str());
+      findings.push_back(std::move(f));
+    }
+    used_allow.insert(a.used_allow.begin(), a.used_allow.end());
+  }
+  std::vector<Finding> cycles = LockCycleFindings(edges);
+  for (Finding& f : cycles) findings.push_back(std::move(f));
+  if (options.report_stale_nolint) {
+    for (const AllowEntry& e : options.allow) {
+      if (used_allow.count({e.file, e.rule}) != 0) continue;
+      const std::string where = options.allowlist_path.empty()
+                                    ? e.file
+                                    : options.allowlist_path;
+      Finding f;
+      f.file = where;
+      f.line = e.line;
+      f.rule = "sgcl-nolint";
+      f.severity = Severity::kWarning;
+      f.message = StrFormat("allowlist entry '%s:%s' no longer suppresses "
+                            "anything; delete it",
+                            e.file.c_str(), e.rule.c_str());
+      findings.push_back(std::move(f));
+    }
+  }
+  SortFindings(&findings);
   return findings;
+}
+
+std::vector<Finding> Linter::Run() const {
+  std::vector<FileDecls> decls;
+  decls.reserve(files_.size());
+  for (const FileEntry& file : files_) decls.push_back(file.decls);
+  const GlobalTables tables = BuildTables(decls);
+
+  std::vector<std::string> paths;
+  std::vector<FileAnalysis> analyses;
+  paths.reserve(files_.size());
+  analyses.reserve(files_.size());
+  for (const FileEntry& file : files_) {
+    paths.push_back(file.path);
+    analyses.push_back(AnalyzeFile(file.path, file.content, tables, options_));
+  }
+  return MergeAnalyses(paths, analyses, options_);
 }
 
 std::string ExpectedIncludeGuard(const std::string& path) {

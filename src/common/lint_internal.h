@@ -1,0 +1,50 @@
+// Internals shared between the lint engine's two translation units:
+// lint.cc (line pass, suppressions, orchestration) and lint_flow.cc
+// (tokenizer, declaration tables, flow pass). Not part of the public
+// API — include common/lint.h instead.
+#ifndef SGCL_COMMON_LINT_INTERNAL_H_
+#define SGCL_COMMON_LINT_INTERNAL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/lint.h"
+
+namespace sgcl::lint::internal {
+
+// Splits `content` into lines and blanks out comments, string literals
+// (including raw strings), and char literals, preserving line structure
+// and length so column-free line reporting stays accurate. `raw` gets
+// the untouched lines (NOLINT directives live inside comments).
+// `comment_cols`, when non-null, receives per line the column where a
+// trailing // comment starts, or -1 when the line has none — the
+// stale-NOLINT check uses it to tell a real suppression comment from
+// prose that merely mentions NOLINT.
+void ScrubLines(const std::string& content, std::vector<std::string>* raw,
+                std::vector<std::string>* scrubbed,
+                std::vector<int>* comment_cols);
+
+// Collects names of functions declared to return Status or Result<...>
+// on one (scrubbed) line. Line-local by design: a declaration whose
+// template arguments span lines is skipped (documented limitation).
+void CollectFallibleNames(const std::string& scrubbed_line,
+                          std::set<std::string>* names);
+
+// Pre-suppression output of the flow pass over one file.
+struct FlowResult {
+  std::vector<Finding> findings;  // sgcl-R8 and sgcl-R10
+  std::vector<LockEdge> edges;    // raw acquisition edges for sgcl-R9
+};
+
+FlowResult RunFlowPass(const std::string& path,
+                       const std::vector<Token>& tokens,
+                       const GlobalTables& tables);
+
+// Files where sgcl-R10 (atomics hygiene) applies: the serving layer,
+// the streaming data plane, and the concurrent common/ primitives.
+bool IsHotPathFile(const std::string& path);
+
+}  // namespace sgcl::lint::internal
+
+#endif  // SGCL_COMMON_LINT_INTERNAL_H_

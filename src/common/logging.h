@@ -23,6 +23,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sgcl {
 
@@ -81,7 +82,7 @@ class JsonlLogSink : public LogSink {
   JsonlLogSink(std::ofstream out, std::string path);
 
   std::mutex mu_;
-  std::ofstream out_;
+  std::ofstream out_ SGCL_GUARDED_BY(mu_);
   std::string path_;
 };
 

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace sgcl {
 
 // Monotonically increasing integer metric.
@@ -166,9 +168,11 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SGCL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SGCL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SGCL_GUARDED_BY(mu_);
 };
 
 // Writes `snapshot` as one JSONL record to `out` (JSON object + '\n').

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sgcl {
 
@@ -55,12 +56,15 @@ class ThreadPool {
   static bool InWorkerThread();
 
  private:
-  void WorkerLoop();
+  // Blocks in cv_.wait via std::unique_lock, which libc++ does not
+  // annotate as a scoped capability; clang's analysis cannot see the
+  // lock and sgcl_lint's R8 (which models unique_lock) covers it.
+  void WorkerLoop() SGCL_NO_THREAD_SAFETY_ANALYSIS;
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
-  bool stop_ = false;
+  std::queue<std::function<void()>> tasks_ SGCL_GUARDED_BY(mu_);
+  bool stop_ SGCL_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

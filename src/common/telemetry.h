@@ -29,6 +29,7 @@
 
 #include "common/http_server.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sgcl {
 
@@ -68,16 +69,16 @@ class RunStatusBoard {
 
  private:
   mutable std::mutex mu_;
-  std::string command_;
-  std::string state_ = "idle";
-  int completed_epochs_ = 0;
-  int total_epochs_ = 0;
-  double last_epoch_seconds_ = 0.0;
-  std::vector<double> losses_;
-  std::map<std::string, double> stage_seconds_;
-  int checkpoint_count_ = 0;
-  std::string last_checkpoint_path_;
-  double checkpoint_seconds_ = 0.0;
+  std::string command_ SGCL_GUARDED_BY(mu_);
+  std::string state_ SGCL_GUARDED_BY(mu_) = "idle";
+  int completed_epochs_ SGCL_GUARDED_BY(mu_) = 0;
+  int total_epochs_ SGCL_GUARDED_BY(mu_) = 0;
+  double last_epoch_seconds_ SGCL_GUARDED_BY(mu_) = 0.0;
+  std::vector<double> losses_ SGCL_GUARDED_BY(mu_);
+  std::map<std::string, double> stage_seconds_ SGCL_GUARDED_BY(mu_);
+  int checkpoint_count_ SGCL_GUARDED_BY(mu_) = 0;
+  std::string last_checkpoint_path_ SGCL_GUARDED_BY(mu_);
+  double checkpoint_seconds_ SGCL_GUARDED_BY(mu_) = 0.0;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,104 @@
+// Clang-style thread-safety capability annotations as zero-cost macros.
+//
+// Under Clang the macros expand to __attribute__((...)) thread-safety
+// attributes, so a `clang++ -Wthread-safety -Werror` build is a second,
+// independent checker of the lock discipline sgcl_lint enforces with
+// rules R8-R10 (DESIGN.md §9). Under every other compiler they expand
+// to nothing — tests/common/thread_annotations_test.cc asserts the
+// empty expansion — so annotating code costs zero bytes and zero
+// cycles everywhere.
+//
+// Annotation recipe for a new mutex-guarded structure:
+//   class Board {
+//    public:
+//     void Publish(int v) {
+//       std::lock_guard<std::mutex> lock(mu_);
+//       value_ = v;                       // OK: mu_ held
+//     }
+//     int Read() const SGCL_REQUIRES(mu_) { return value_; }
+//    private:
+//     mutable std::mutex mu_;
+//     int value_ SGCL_GUARDED_BY(mu_) = 0;
+//   };
+// Every member the mutex protects gets SGCL_GUARDED_BY(mu_); methods
+// that expect the caller to hold the lock get SGCL_REQUIRES(mu_).
+// Pointer members whose *pointee* (not the pointer) is guarded use
+// SGCL_PT_GUARDED_BY. Functions the analysis cannot model (typically
+// std::condition_variable waits, which need std::unique_lock — not a
+// scoped capability under libc++'s annotations) are marked
+// SGCL_NO_THREAD_SAFETY_ANALYSIS with a comment; sgcl_lint's R8 does
+// model std::unique_lock, so those functions stay machine-checked.
+//
+// The clang CI job builds with libc++ and
+// -D_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS so std::mutex and
+// std::lock_guard themselves carry capability attributes.
+#ifndef SGCL_COMMON_THREAD_ANNOTATIONS_H_
+#define SGCL_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SGCL_NO_THREAD_SAFETY_ATTRIBUTES)
+#define SGCL_TS_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define SGCL_TS_ATTRIBUTE_(x)
+#endif
+
+// On a class: instances are capabilities (lockable things). `x` is the
+// capability kind shown in diagnostics, e.g. SGCL_CAPABILITY("mutex").
+#define SGCL_CAPABILITY(x) SGCL_TS_ATTRIBUTE_(capability(x))
+
+// On an RAII class whose constructor acquires and destructor releases a
+// capability (lock_guard-shaped types).
+#define SGCL_SCOPED_CAPABILITY SGCL_TS_ATTRIBUTE_(scoped_lockable)
+
+// On a data member: reads and writes require holding `x`.
+#define SGCL_GUARDED_BY(x) SGCL_TS_ATTRIBUTE_(guarded_by(x))
+
+// On a pointer member: dereferencing requires holding `x` (the pointer
+// value itself is not guarded).
+#define SGCL_PT_GUARDED_BY(x) SGCL_TS_ATTRIBUTE_(pt_guarded_by(x))
+
+// On a function: the caller must hold the named capabilities.
+#define SGCL_REQUIRES(...) \
+  SGCL_TS_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+// On a function: the caller must hold the capabilities in shared mode.
+#define SGCL_REQUIRES_SHARED(...) \
+  SGCL_TS_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+// On a function: acquires the named capabilities (held on return).
+#define SGCL_ACQUIRE(...) \
+  SGCL_TS_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define SGCL_ACQUIRE_SHARED(...) \
+  SGCL_TS_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+// On a function: releases the named capabilities (must be held on entry).
+#define SGCL_RELEASE(...) \
+  SGCL_TS_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define SGCL_RELEASE_SHARED(...) \
+  SGCL_TS_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+// On a function: attempts acquisition; `...` starts with the bool/int
+// success value, then the capabilities.
+#define SGCL_TRY_ACQUIRE(...) \
+  SGCL_TS_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+// On a function: the caller must NOT hold the named capabilities
+// (deadlock guard for functions that acquire them internally).
+#define SGCL_EXCLUDES(...) SGCL_TS_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+// On a function returning a reference/pointer to a capability.
+#define SGCL_RETURN_CAPABILITY(x) SGCL_TS_ATTRIBUTE_(lock_returned(x))
+
+// On ordering declarations between capabilities (documents the global
+// acquisition order; sgcl_lint R9 derives the order from code instead).
+#define SGCL_ACQUIRED_BEFORE(...) \
+  SGCL_TS_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define SGCL_ACQUIRED_AFTER(...) \
+  SGCL_TS_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+// Escape hatch: the function's body is exempt from the clang analysis.
+// Used where the analysis cannot model the code (condition-variable
+// waits through std::unique_lock); keep a comment at every use site.
+#define SGCL_NO_THREAD_SAFETY_ANALYSIS \
+  SGCL_TS_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // SGCL_COMMON_THREAD_ANNOTATIONS_H_

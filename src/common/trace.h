@@ -54,6 +54,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sgcl {
 
@@ -139,7 +140,7 @@ class TraceCollector {
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
-  std::vector<Event> events_;
+  std::vector<Event> events_ SGCL_GUARDED_BY(mu_);
 };
 
 // Bounded ring of completed sampled traces. Always on (capacity bounds
@@ -213,20 +214,21 @@ class TraceRing {
   static TraceRing& Global();
 
  private:
-  void CommitLocked(uint64_t trace_id);
+  void CommitLocked(uint64_t trace_id) SGCL_REQUIRES(mu_);
 
   std::atomic<uint64_t> period_{0};      // 0 == sampling off
   std::atomic<uint64_t> admit_seq_{0};   // every-Nth admission counter
   std::atomic<uint64_t> trace_seq_{0};   // mixed into trace ids
 
   mutable std::mutex mu_;
-  size_t capacity_ = 256;
-  uint64_t committed_count_ = 0;
-  std::deque<Trace> completed_;  // oldest at front
+  size_t capacity_ SGCL_GUARDED_BY(mu_) = 256;
+  uint64_t committed_count_ SGCL_GUARDED_BY(mu_) = 0;
+  std::deque<Trace> completed_ SGCL_GUARDED_BY(mu_);  // oldest at front
   // In-flight traces: spans buffered until the root span closes. A
   // trace id is "open" iff it has an entry here; spans for other ids
   // (late arrivals after commit, foreign ids) are dropped.
-  std::unordered_map<uint64_t, std::vector<Span>> pending_;
+  std::unordered_map<uint64_t, std::vector<Span>> pending_
+      SGCL_GUARDED_BY(mu_);
 };
 
 // Records a completed span with explicit timestamps (collector-epoch

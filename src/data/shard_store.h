@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "graph/graph_source.h"
 
 namespace sgcl {
@@ -162,8 +163,8 @@ class ShardedGraphStore : public GraphSource {
   // LRU of decoded shards, most-recent first.
   mutable std::mutex mu_;
   mutable std::list<std::pair<int64_t, std::shared_ptr<const DecodedShard>>>
-      cache_;
-  mutable int64_t decode_count_ = 0;
+      cache_ SGCL_GUARDED_BY(mu_);
+  mutable int64_t decode_count_ SGCL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sgcl
