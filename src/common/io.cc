@@ -28,6 +28,10 @@ void BinaryWriter::WriteF32(float v) {
 }
 
 void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  // Empty vectors serialize as a zero count with no bytes; their
+  // data() may be null, which ostream::write (and memcpy below) must
+  // never see even with size 0.
+  if (size == 0) return;
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(size));
 }
@@ -74,6 +78,7 @@ int64_t BinaryReader::RemainingBytes() {
 
 bool BinaryReader::ReadBytes(void* data, size_t size) {
   if (!ok_) return false;
+  if (size == 0) return true;
   in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
   if (!in_) {
     ok_ = false;
@@ -157,6 +162,7 @@ void BufferWriter::WriteF64(double v) { WriteBytes(&v, sizeof(v)); }
 void BufferWriter::WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
 
 void BufferWriter::WriteBytes(const void* data, size_t size) {
+  if (size == 0) return;
   buffer_.append(static_cast<const char*>(data), size);
 }
 
@@ -185,7 +191,7 @@ bool BufferReader::ReadBytes(void* data, size_t size) {
     ok_ = false;
     return false;
   }
-  std::memcpy(data, bytes_.data() + pos_, size);
+  if (size > 0) std::memcpy(data, bytes_.data() + pos_, size);
   pos_ += size;
   return true;
 }

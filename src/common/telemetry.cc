@@ -71,6 +71,7 @@ void RunStatusBoard::BeginRun(const std::string& command, int total_epochs) {
   checkpoint_count_ = 0;
   last_checkpoint_path_.clear();
   checkpoint_seconds_ = 0.0;
+  workers_.clear();
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -98,6 +99,15 @@ void RunStatusBoard::RecordCheckpoint(const std::string& path,
   ++checkpoint_count_;
   last_checkpoint_path_ = path;
   checkpoint_seconds_ += seconds;
+}
+
+void RunStatusBoard::RecordWorker(int rank, bool connected,
+                                  int64_t last_round, int64_t leaves) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkerRow& row = workers_[rank];
+  row.connected = connected;
+  row.last_round = last_round;
+  row.leaves = leaves;
 }
 
 std::string RunStatusBoard::ToJson() const {
@@ -141,6 +151,20 @@ std::string RunStatusBoard::ToJson() const {
         .append(JsonEscape(last_checkpoint_path_))
         .append("\"");
     json += ",\"total_seconds\":" + JsonDouble(checkpoint_seconds_) + "}";
+  }
+  if (!workers_.empty()) {
+    json += ",\"workers\":[";
+    bool first_worker = true;
+    for (const auto& [rank, row] : workers_) {
+      if (!first_worker) json += ',';
+      first_worker = false;
+      json.append("{\"rank\":").append(std::to_string(rank));
+      json.append(",\"connected\":").append(row.connected ? "true" : "false");
+      json.append(",\"last_round\":").append(std::to_string(row.last_round));
+      json.append(",\"leaves\":").append(std::to_string(row.leaves));
+      json.append("}");
+    }
+    json += "]";
   }
   json += "}";
   return json;

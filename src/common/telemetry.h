@@ -59,12 +59,19 @@ class RunStatusBoard {
   // PretrainOptions::on_checkpoint); /status then reports the latest
   // checkpoint path, count, and cumulative save seconds.
   void RecordCheckpoint(const std::string& path, double seconds);
+  // Publishes one distributed worker's live row (wired to the all-reduce
+  // coordinator in rank 0's process): connection state, the last round
+  // it submitted a leaf for (-1 before the first), and its cumulative
+  // leaf count. /status renders these as a "workers" array.
+  void RecordWorker(int rank, bool connected, int64_t last_round,
+                    int64_t leaves);
 
   // One JSON object: run_id, state, command, uptime_seconds,
   // completed_epochs, epoch (in progress, 1-based), total_epochs,
   // last_loss, last_epoch_seconds, losses (per completed epoch),
-  // cumulative stage_seconds, and checkpoint {count, last_path,
-  // total_seconds} when any checkpoint was saved.
+  // cumulative stage_seconds, checkpoint {count, last_path,
+  // total_seconds} when any checkpoint was saved, and workers
+  // [{rank, connected, last_round, leaves}] when distributed.
   std::string ToJson() const;
 
  private:
@@ -79,6 +86,12 @@ class RunStatusBoard {
   int checkpoint_count_ SGCL_GUARDED_BY(mu_) = 0;
   std::string last_checkpoint_path_ SGCL_GUARDED_BY(mu_);
   double checkpoint_seconds_ SGCL_GUARDED_BY(mu_) = 0.0;
+  struct WorkerRow {
+    bool connected = false;
+    int64_t last_round = -1;
+    int64_t leaves = 0;
+  };
+  std::map<int, WorkerRow> workers_ SGCL_GUARDED_BY(mu_);
   std::chrono::steady_clock::time_point start_;
 };
 

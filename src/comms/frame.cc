@@ -1,0 +1,102 @@
+#include "comms/frame.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/string_util.h"
+
+namespace sgcl {
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  std::memcpy(bytes, &v, sizeof(v));
+  out->append(bytes, sizeof(bytes));
+}
+
+uint32_t ReadU32At(const std::string& buf, size_t offset) {
+  uint32_t v = 0;
+  std::memcpy(&v, buf.data() + offset, sizeof(v));
+  return v;
+}
+
+// The frame CRC chains over the little-endian type bytes and then the
+// payload, so a corrupted type field is caught by the same check that
+// guards the payload (magic and length have their own structural
+// checks).
+uint32_t FrameCrc(uint32_t type, const char* payload, size_t size) {
+  char type_bytes[4];
+  std::memcpy(type_bytes, &type, sizeof(type));
+  return Crc32(payload, size, Crc32(type_bytes, sizeof(type_bytes)));
+}
+
+}  // namespace
+
+const char* FrameTypeToString(uint32_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kWelcome:
+      return "WELCOME";
+    case FrameType::kReject:
+      return "REJECT";
+    case FrameType::kLeaf:
+      return "LEAF";
+    case FrameType::kRoundRequest:
+      return "ROUND_REQUEST";
+    case FrameType::kRoundResult:
+      return "ROUND_RESULT";
+    case FrameType::kGoodbye:
+      return "GOODBYE";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeFrame(uint32_t type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendU32(&out, kFrameMagic);
+  AppendU32(&out, type);
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  AppendU32(&out, FrameCrc(type, payload.data(), payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Result<bool> TryDecodeFrame(std::string* buffer, Frame* out) {
+  // The magic is checkable as soon as its bytes arrive — rejecting a
+  // non-SGCF stream early beats waiting for a full bogus header.
+  if (buffer->size() >= 4) {
+    const uint32_t magic = ReadU32At(*buffer, 0);
+    if (magic != kFrameMagic) {
+      return Status::InvalidArgument(
+          StrFormat("comms frame has bad magic %08x (want %08x)", magic,
+                    kFrameMagic));
+    }
+  }
+  if (buffer->size() < kFrameHeaderBytes) return false;
+  const uint32_t type = ReadU32At(*buffer, 4);
+  const uint32_t payload_len = ReadU32At(*buffer, 8);
+  const uint32_t want_crc = ReadU32At(*buffer, 12);
+  if (payload_len > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        StrFormat("comms frame declares %u payload bytes (cap %u)",
+                  payload_len, kMaxFramePayload));
+  }
+  if (buffer->size() < kFrameHeaderBytes + payload_len) return false;
+  const uint32_t got_crc =
+      FrameCrc(type, buffer->data() + kFrameHeaderBytes,
+               static_cast<size_t>(payload_len));
+  if (got_crc != want_crc) {
+    return Status::InvalidArgument(
+        StrFormat("comms %s frame CRC mismatch: header %08x, "
+                  "computed %08x",
+                  FrameTypeToString(type), want_crc, got_crc));
+  }
+  out->type = type;
+  out->payload.assign(buffer->data() + kFrameHeaderBytes, payload_len);
+  buffer->erase(0, kFrameHeaderBytes + payload_len);
+  return true;
+}
+
+}  // namespace sgcl

@@ -1,0 +1,78 @@
+// Length-prefixed, CRC-guarded frames for the loopback all-reduce
+// protocol (comms/allreduce.h).
+//
+// Wire format (all fields little-endian, matching common/io.h):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//   0       4     magic 0x53474346 ("SGCF" read as a LE u32 tag)
+//   4       4     frame type (FrameType below; unknown values are
+//                 surfaced to the caller, not rejected here)
+//   8       4     payload length in bytes (<= kMaxFramePayload)
+//   12      4     CRC-32 chained over the type bytes then the payload
+//                 (common/crc32.h), so a flipped bit anywhere in the
+//                 type field or payload fails the check
+//   16      n     payload
+//
+// The decoder is incremental: callers append whatever recv() produced
+// to a buffer and ask TryDecodeFrame whether a complete frame is
+// available yet. Truncation at any byte is simply "need more bytes";
+// a wrong magic, an oversized length, or a CRC mismatch is a hard
+// DataLoss-style error (the stream has no resynchronization points, so
+// corruption is fatal to the connection, never silently skipped).
+#ifndef SGCL_COMMS_FRAME_H_
+#define SGCL_COMMS_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sgcl {
+
+// "SGCF" bytes in memory order on a little-endian host.
+inline constexpr uint32_t kFrameMagic = 0x46434753u;
+inline constexpr size_t kFrameHeaderBytes = 16;
+// Largest payload a peer may send: bounds a single gradient frame well
+// above any real model here (64 MiB) while keeping a corrupt length
+// field from looking like an allocation request.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+// Protocol frame types (comms/allreduce.h documents each exchange).
+enum class FrameType : uint32_t {
+  kHello = 1,         // worker -> coordinator: join/rejoin handshake
+  kWelcome = 2,       // coordinator -> worker: handshake accepted
+  kReject = 3,        // coordinator -> worker: handshake refused (fatal)
+  kLeaf = 4,          // worker -> coordinator: one micro-batch gradient
+  kRoundRequest = 5,  // worker -> coordinator: wait for a reduced round
+  kRoundResult = 6,   // coordinator -> worker: the reduced round
+  kGoodbye = 7,       // worker -> coordinator: clean shutdown
+};
+
+const char* FrameTypeToString(uint32_t type);
+
+struct Frame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+// One complete frame, header + payload, ready to send.
+std::string EncodeFrame(uint32_t type, std::string_view payload);
+inline std::string EncodeFrame(FrameType type, std::string_view payload) {
+  return EncodeFrame(static_cast<uint32_t>(type), payload);
+}
+
+// Attempts to decode one frame from the front of `*buffer`.
+//   - Returns true and erases the consumed bytes when a complete,
+//     CRC-clean frame was extracted into *out.
+//   - Returns false when `*buffer` holds a (so far) valid prefix of a
+//     frame — the caller should recv more bytes and retry.
+//   - Returns a non-OK Status when the buffer can never become a valid
+//     frame: bad magic, payload length over kMaxFramePayload, or CRC
+//     mismatch. The buffer is left untouched for diagnostics.
+Result<bool> TryDecodeFrame(std::string* buffer, Frame* out);
+
+}  // namespace sgcl
+
+#endif  // SGCL_COMMS_FRAME_H_

@@ -96,6 +96,42 @@ struct PretrainOptions {
   int64_t checkpoint_every_batches = 0;
 };
 
+// The seed of the derived RNG stream that batch `global_batch` of epoch
+// `epoch` consumes in distributed pretraining (splitmix64-style
+// finalizer chain). Keyed on the run's ORIGINAL trainer seed
+// (TrainState::train_seed), not the current process's, so an elastically
+// restarted worker — even one handed a fresh ctor seed — replays
+// bit-identical stochastic draws for every batch it recomputes.
+uint64_t DeriveBatchSeed(uint64_t run_seed, int epoch, int64_t global_batch);
+
+// Batches one Pretrain epoch runs over `selected` graphs at
+// `batch_size` (trailing batches with fewer than 2 graphs are dropped —
+// InfoNCE needs a negative). The distributed schedule quantity K: every
+// worker and the coordinator must compute the same value.
+int64_t PretrainBatchesPerEpoch(int64_t selected, int batch_size);
+
+// Data-parallel settings for PretrainDistributed. The schedule is
+// defined by (grad_accum, the global batch schedule); world_size only
+// says how many processes execute it, which is why losses are bitwise
+// worker-count-independent.
+struct DistributedPretrainOptions {
+  int rank = 0;
+  int world_size = 1;
+  // W: global batches reduced into one optimizer step (a "round").
+  // Must be >= world_size so every worker owns work in full rounds.
+  int grad_accum = 8;
+  // The all-reduce coordinator's port (comms/allreduce.h), already
+  // started by rank 0's process.
+  int coordinator_port = 0;
+  // Per-operation comms deadline. GetRound blocks this long for
+  // stragglers, so it must cover a killed worker's restart-and-rejoin
+  // time, not just network latency.
+  int allreduce_timeout_ms = 60000;
+  // How long Join retries connecting before giving up (the coordinator
+  // may still be binding when workers launch).
+  int connect_deadline_ms = 15000;
+};
+
 // Publishes one epoch's loss to the global metrics registry: sets gauge
 // "train/last_epoch_loss" and increments counter "train/nonfinite_loss"
 // when the loss is NaN/Inf — divergence must show up in exports (where
@@ -130,15 +166,51 @@ class SgclTrainer {
                                  const std::vector<int64_t>& indices = {},
                                  const PretrainOptions& options = {});
 
+  // Data-parallel pretraining: this trainer acts as worker `dist.rank`
+  // of `dist.world_size`, computing the micro-batches it owns
+  // (data/rank_assign.h) and exchanging gradients with the coordinator
+  // at `dist.coordinator_port` each round. Per-epoch losses are
+  // bitwise-identical for every world_size (including 1) given the same
+  // config, seed, data, and grad_accum — see comms/allreduce.h for the
+  // argument. Checkpoints (same PretrainOptions knobs) are written at
+  // round boundaries; resume_from rejoins a live cluster elastically,
+  // replaying missed rounds from the coordinator's cache. The epoch
+  // shuffle consumes this trainer's own RNG (identically on every
+  // rank); per-batch stochastic draws come from DeriveBatchSeed streams
+  // instead, so they are position- not history-dependent.
+  // PretrainOptions::should_cancel is ignored — one worker cancelling
+  // unilaterally would stall the cluster; stop distributed runs by
+  // stopping the job.
+  Result<PretrainStats> PretrainDistributed(
+      const GraphSource& source, const std::vector<int64_t>& indices,
+      const PretrainOptions& options,
+      const DistributedPretrainOptions& dist);
+
   SgclModel& model() { return *model_; }
   const SgclModel& model() const { return *model_; }
+  // The ctor seed (the distributed handshake's run_seed for fresh runs).
+  uint64_t seed() const { return seed_; }
 
  private:
   // Per-epoch permutation update; block-aware for multi-block sources.
   void ShuffleOrder(std::vector<int64_t>* order,
                     const std::vector<IndexRange>& blocks);
 
+  // Serializes the complete resumable run state and publishes it
+  // atomically to `path` (shared by Pretrain and PretrainDistributed;
+  // both checkpoint formats are the same format).
+  Status SaveTrainingCheckpoint(const PretrainOptions& options,
+                                const PretrainStats& stats,
+                                const std::vector<int64_t>& order,
+                                uint64_t config_fingerprint,
+                                uint64_t source_fingerprint,
+                                uint64_t train_seed, int next_epoch,
+                                int64_t batch_cursor,
+                                double partial_loss_sum,
+                                const std::string& path);
+
   SgclConfig config_;
+  uint64_t seed_;
   Rng rng_;
   std::unique_ptr<SgclModel> model_;
   std::unique_ptr<Adam> optimizer_;

@@ -108,6 +108,7 @@ std::string SerializeCursorSection(const TrainState& state) {
   writer.WriteI64(state.batch_cursor);
   writer.WriteF64(state.partial_loss_sum);
   writer.WriteU64(state.source_fingerprint);
+  writer.WriteU64(state.train_seed);
   return writer.TakeBytes();
 }
 
@@ -139,6 +140,9 @@ Status ParseCursorSection(const std::string& bytes, const std::string& what,
           StrFormat("%s cursor section has a corrupt batch cursor",
                     what.c_str()));
     }
+    // Second cursor extension (same appended-field discipline): the
+    // run's original trainer seed, for distributed batch-seed replay.
+    if (reader.remaining() > 0) out->train_seed = reader.ReadU64();
   }
   if (static_cast<int64_t>(out->epoch_losses.size()) != next_epoch ||
       seconds_count != next_epoch) {

@@ -58,6 +58,12 @@ struct TrainState {
   // resume when nonzero so a checkpoint never silently resumes against
   // different data (0 = unknown/legacy).
   uint64_t source_fingerprint = 0;
+  // The seed the run's trainer was originally constructed with. The
+  // distributed path derives every batch's RNG from this (core
+  // DeriveBatchSeed), so a worker restarted with a *different* ctor
+  // seed still replays bit-identical batches; the handshake requires
+  // all workers to agree on it (0 = pre-extension checkpoint).
+  uint64_t train_seed = 0;
 };
 
 // FNV-1a over a canonical serialization of every SgclConfig field that

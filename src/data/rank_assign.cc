@@ -1,0 +1,41 @@
+#include "data/rank_assign.h"
+
+#include "common/check.h"
+
+namespace sgcl {
+
+uint64_t RoundsPerEpoch(uint64_t batches_per_epoch, uint32_t accum) {
+  SGCL_CHECK(accum > 0);
+  return (batches_per_epoch + accum - 1) / accum;
+}
+
+uint32_t LeavesInRound(uint64_t batches_per_epoch, uint32_t accum,
+                       uint64_t round_in_epoch) {
+  SGCL_CHECK(accum > 0);
+  const uint64_t begin = round_in_epoch * accum;
+  if (begin >= batches_per_epoch) return 0;
+  const uint64_t remaining = batches_per_epoch - begin;
+  return remaining < accum ? static_cast<uint32_t>(remaining) : accum;
+}
+
+int RankOwningSlot(uint32_t slot, int world_size) {
+  SGCL_CHECK(world_size > 0);
+  return static_cast<int>(slot % static_cast<uint32_t>(world_size));
+}
+
+std::vector<int64_t> OwnedBatchesInEpoch(uint64_t batches_per_epoch,
+                                         uint32_t accum, int world_size,
+                                         int rank) {
+  SGCL_CHECK(world_size > 0);
+  SGCL_CHECK(rank >= 0 && rank < world_size);
+  std::vector<int64_t> owned;
+  for (uint64_t b = 0; b < batches_per_epoch; ++b) {
+    const uint32_t slot = static_cast<uint32_t>(b % accum);
+    if (RankOwningSlot(slot, world_size) == rank) {
+      owned.push_back(static_cast<int64_t>(b));
+    }
+  }
+  return owned;
+}
+
+}  // namespace sgcl

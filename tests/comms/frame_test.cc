@@ -1,0 +1,134 @@
+// Property tests for the comms wire format (comms/frame.h): random
+// round-trips, truncation at every byte boundary, and corruption of
+// every header and payload byte.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comms/frame.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+std::string RandomPayload(Rng* rng, size_t size) {
+  std::string payload(size, '\0');
+  for (size_t i = 0; i < size; ++i) {
+    payload[i] = static_cast<char>(rng->UniformInt(0, 255));
+  }
+  return payload;
+}
+
+TEST(FrameTest, RoundTripsRandomPayloads) {
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t type = static_cast<uint32_t>(rng.UniformInt(1, 7));
+    const size_t size = static_cast<size_t>(rng.UniformInt(0, 512));
+    const std::string payload = RandomPayload(&rng, size);
+    std::string buffer = EncodeFrame(type, payload);
+    ASSERT_EQ(buffer.size(), kFrameHeaderBytes + size);
+    Frame frame;
+    auto decoded = TryDecodeFrame(&buffer, &frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(*decoded);
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_TRUE(buffer.empty()) << "decode must consume the frame";
+  }
+}
+
+TEST(FrameTest, DecodesBackToBackFramesFromOneBuffer) {
+  std::string buffer = EncodeFrame(FrameType::kHello, "first") +
+                       EncodeFrame(FrameType::kLeaf, "second") +
+                       EncodeFrame(FrameType::kGoodbye, "");
+  std::vector<std::string> payloads;
+  Frame frame;
+  while (true) {
+    auto decoded = TryDecodeFrame(&buffer, &frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    if (!*decoded) break;
+    payloads.push_back(frame.payload);
+  }
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "first");
+  EXPECT_EQ(payloads[1], "second");
+  EXPECT_EQ(payloads[2], "");
+  EXPECT_TRUE(buffer.empty());
+}
+
+// A prefix of a valid frame is never an error — it is "need more
+// bytes" at every truncation point, which is what lets the channel
+// accumulate partial reads.
+TEST(FrameTest, TruncationAtEveryByteNeedsMoreNeverErrors) {
+  const std::string full = EncodeFrame(FrameType::kRoundResult,
+                                       "truncation-probe-payload");
+  for (size_t keep = 0; keep < full.size(); ++keep) {
+    std::string buffer = full.substr(0, keep);
+    Frame frame;
+    auto decoded = TryDecodeFrame(&buffer, &frame);
+    ASSERT_TRUE(decoded.ok())
+        << "truncated at " << keep << ": " << decoded.status().ToString();
+    EXPECT_FALSE(*decoded) << "truncated at " << keep;
+    EXPECT_EQ(buffer.size(), keep) << "partial frame must stay buffered";
+  }
+}
+
+// Flipping any single bit of any byte must be caught: magic bytes fail
+// the magic check, length bytes either fail the cap or starve the
+// decoder (declared length grows past the buffer), and everything else
+// fails the CRC. No corruption may decode successfully.
+TEST(FrameTest, CorruptionOfEveryByteIsNeverSilentlyAccepted) {
+  const std::string full =
+      EncodeFrame(FrameType::kLeaf, "crc-guarded-payload-bytes");
+  for (size_t pos = 0; pos < full.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string buffer = full;
+      buffer[pos] = static_cast<char>(buffer[pos] ^ (1 << bit));
+      Frame frame;
+      auto decoded = TryDecodeFrame(&buffer, &frame);
+      if (decoded.ok()) {
+        // Corrupt length fields may legitimately leave the decoder
+        // waiting for bytes that never come; they must not produce a
+        // frame.
+        EXPECT_FALSE(*decoded)
+            << "byte " << pos << " bit " << bit << " decoded as a frame";
+      } else {
+        EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+      }
+    }
+  }
+}
+
+TEST(FrameTest, RejectsOversizedDeclaredPayload) {
+  std::string buffer = EncodeFrame(FrameType::kLeaf, "x");
+  // Rewrite the length field to just over the cap.
+  const uint32_t huge = kMaxFramePayload + 1;
+  buffer[8] = static_cast<char>(huge & 0xff);
+  buffer[9] = static_cast<char>((huge >> 8) & 0xff);
+  buffer[10] = static_cast<char>((huge >> 16) & 0xff);
+  buffer[11] = static_cast<char>((huge >> 24) & 0xff);
+  Frame frame;
+  auto decoded = TryDecodeFrame(&buffer, &frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, BadMagicRejectsAsSoonAsFourBytesArrive) {
+  std::string buffer = "HTTP/1.1 200 OK";  // not an SGCF stream
+  Frame frame;
+  auto decoded = TryDecodeFrame(&buffer, &frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, FrameTypeNamesAreStable) {
+  EXPECT_STREQ(FrameTypeToString(static_cast<uint32_t>(FrameType::kHello)),
+               "HELLO");
+  EXPECT_STREQ(FrameTypeToString(static_cast<uint32_t>(FrameType::kGoodbye)),
+               "GOODBYE");
+  EXPECT_STREQ(FrameTypeToString(999), "UNKNOWN");
+}
+
+}  // namespace
+}  // namespace sgcl

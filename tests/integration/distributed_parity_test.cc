@@ -1,0 +1,151 @@
+// The tentpole acceptance test: multi-process data-parallel
+// pretraining is bitwise-identical to --workers=1 for every worker
+// count, over in-memory and sharded sources, and stays so when a
+// worker is killed mid-epoch and elastically rejoins from its
+// checkpoint.
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "comms/distributed_test_util.h"
+#include "common/fault.h"
+#include "core/sgcl_trainer.h"
+#include "data/shard_store.h"
+#include "data/synthetic_molecule.h"
+#include "gtest/gtest.h"
+
+namespace sgcl {
+namespace {
+
+using ::sgcl::testing::ClusterConfig;
+using ::sgcl::testing::RunCluster;
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+GraphDataset ParityDataset() {
+  return MakeZincLikeDataset(/*num_graphs=*/26, /*seed=*/33);
+}
+
+SgclConfig ParityConfig(int epochs = 3) {
+  SgclConfig cfg = MakeUnsupervisedConfig(kMoleculeFeatDim);
+  cfg.encoder.hidden_dim = 10;
+  cfg.encoder.num_layers = 2;
+  cfg.proj_dim = 10;
+  cfg.batch_size = 4;  // 6 batches/epoch -> rounds of 4 + tail of 2
+  cfg.epochs = epochs;
+  return cfg;
+}
+
+ClusterConfig ParityCluster(int world) {
+  ClusterConfig cc;
+  cc.config = ParityConfig();
+  cc.seed = 23;
+  cc.world = world;
+  cc.accum = 4;
+  return cc;
+}
+
+// Per-epoch losses of an N-worker cluster, after asserting every rank
+// reported the identical loss vector.
+std::vector<float> ClusterLosses(const ClusterConfig& cc,
+                                 const GraphSource& source) {
+  const std::vector<PretrainStats> stats = RunCluster(cc, source);
+  EXPECT_EQ(static_cast<int>(stats.size()), cc.world);
+  for (size_t rank = 1; rank < stats.size(); ++rank) {
+    EXPECT_EQ(stats[rank].epoch_losses, stats[0].epoch_losses)
+        << "rank " << rank << " diverged from rank 0";
+  }
+  return stats.empty() ? std::vector<float>() : stats[0].epoch_losses;
+}
+
+TEST(DistributedParityTest, WorkerCountsAreBitwiseIdenticalInMemory) {
+  GraphDataset ds = ParityDataset();
+  const InMemorySource source(&ds);
+  const std::vector<float> one = ClusterLosses(ParityCluster(1), source);
+  ASSERT_EQ(one.size(), 3u);
+  const std::vector<float> two = ClusterLosses(ParityCluster(2), source);
+  const std::vector<float> four = ClusterLosses(ParityCluster(4), source);
+  // Bitwise float equality — the whole point of the fixed-order
+  // reduction.
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+}
+
+TEST(DistributedParityTest, WorkerCountsAreBitwiseIdenticalSharded) {
+  GraphDataset ds = ParityDataset();
+  const std::string dir = TempDir("dist_parity_shards");
+  ShardWriterOptions opt;
+  opt.graphs_per_shard = 7;  // multiple blocks: block-aware shuffle path
+  opt.name = ds.name();
+  opt.num_classes = ds.num_classes();
+  ASSERT_TRUE([&]() -> Status {
+    SGCL_ASSIGN_OR_RETURN(auto writer,
+                          ShardedGraphStoreWriter::Create(dir, opt));
+    for (int64_t i = 0; i < ds.size(); ++i) {
+      SGCL_RETURN_NOT_OK(writer->Append(ds.graph(i)));
+    }
+    return writer->Finalize();
+  }()
+                  .ok());
+  auto store = ShardedGraphStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_GT((*store)->num_shards(), 1);
+
+  const std::vector<float> one = ClusterLosses(ParityCluster(1), **store);
+  ASSERT_EQ(one.size(), 3u);
+  const std::vector<float> two = ClusterLosses(ParityCluster(2), **store);
+  EXPECT_EQ(one, two);
+}
+
+// Changing the worker count must not silently change the schedule:
+// the single-process plain Pretrain loop (no accumulation) is a
+// DIFFERENT training run. Guard against accidentally "proving" parity
+// by comparing against it.
+TEST(DistributedParityTest, DistributedScheduleDiffersFromPlainLoop) {
+  GraphDataset ds = ParityDataset();
+  const InMemorySource source(&ds);
+  SgclTrainer plain(ParityConfig(), /*seed=*/23);
+  auto plain_stats = plain.Pretrain(source, {}, {});
+  ASSERT_TRUE(plain_stats.ok());
+  const std::vector<float> one = ClusterLosses(ParityCluster(1), source);
+  EXPECT_NE(plain_stats->epoch_losses, one)
+      << "grad-accum rounds should not reproduce per-batch SGD";
+}
+
+// Mid-run worker death: a worker crashes via an injected comms fault,
+// restarts from its checkpoint (with a different ctor seed — the
+// checkpointed train_seed must carry the stream), rejoins, and the
+// final losses still match the undisturbed 1-worker run bitwise.
+TEST(DistributedParityTest, KillAndRejoinKeepsBitwiseParity) {
+  GraphDataset ds = ParityDataset();
+  const InMemorySource source(&ds);
+  const std::vector<float> baseline =
+      ClusterLosses(ParityCluster(1), source);
+
+  ClusterConfig cc = ParityCluster(2);
+  cc.ckpt_root = TempDir("dist_parity_kill");
+  cc.ckpt_every_batches = 4;  // checkpoint at every full round
+  ScopedFaultInjection faults;
+  // Fire deep enough into the run that checkpoints exist, so the
+  // restart exercises resume + cache catch-up rather than a from-
+  // scratch replay.
+  FaultInjector::Global().Arm("comms/send", FaultKind::kCrash, /*nth=*/20);
+  int restarts = 0;
+  const std::vector<PretrainStats> stats =
+      RunCluster(cc, source, &restarts);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GE(restarts, 1) << "the armed crash never fired";
+  EXPECT_GT(FaultInjector::Global().hits("comms/send"), 0);
+  EXPECT_EQ(stats[0].epoch_losses, baseline);
+  EXPECT_EQ(stats[1].epoch_losses, baseline);
+}
+
+}  // namespace
+}  // namespace sgcl

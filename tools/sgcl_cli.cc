@@ -67,10 +67,12 @@
 #include <string>
 #include <vector>
 
+#include "comms/allreduce.h"
 #include "common/bench_compare.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/sgcl_trainer.h"
@@ -266,6 +268,62 @@ struct CheckpointFlags {
   }
 };
 
+// Multi-process data-parallel pretraining flags (comms/allreduce.h).
+// --workers=0 keeps the historical single-process loop; --workers=N
+// runs this process as worker --rank of N, all-reducing gradients with
+// the coordinator each round. Rank 0's process hosts the coordinator.
+struct DistributedFlags {
+  int workers = 0;
+  int rank = 0;
+  int coordinator_port = 0;
+  int grad_accum = 8;
+  int allreduce_timeout_ms = 60000;
+  int connect_deadline_ms = 15000;
+
+  void Register(FlagSet* flags) {
+    flags->Int("workers", &workers,
+               "data-parallel worker count; 0 disables distributed mode. "
+               "Losses are bitwise-identical for every worker count");
+    flags->Int("rank", &rank, "this process's rank in [0, --workers)");
+    flags->Int("coordinator-port", &coordinator_port,
+               "all-reduce coordinator port: rank 0 binds it (0 picks an "
+               "ephemeral port, printed as 'coordinator: ...'); other "
+               "ranks connect to it (required)");
+    flags->Int("grad-accum", &grad_accum,
+               "global batches reduced into one optimizer step (the "
+               "distributed round width; must be >= --workers)");
+    flags->Int("allreduce-timeout-ms", &allreduce_timeout_ms,
+               "per-operation comms deadline; bounds how long a round "
+               "waits for a straggler or a restarting worker");
+  }
+
+  Status Validate() const {
+    if (workers < 0) {
+      return Status::InvalidArgument("--workers must be >= 0");
+    }
+    if (workers == 0) return Status::OK();
+    if (rank < 0 || rank >= workers) {
+      return Status::InvalidArgument(StrFormat(
+          "--rank %d outside [0, %d)", rank, workers));
+    }
+    if (rank != 0 && coordinator_port <= 0) {
+      return Status::InvalidArgument(
+          "--coordinator-port is required for ranks > 0 (rank 0 prints "
+          "the port it bound)");
+    }
+    return Status::OK();
+  }
+};
+
+// Everything ObservedPretrain needs to run the distributed path:
+// the worker options plus (rank 0 only) the coordinator's schedule.
+struct DistributedRun {
+  DistributedPretrainOptions options;
+  int workers = 0;
+  AllReduceSchedule schedule;  // rank 0: validated against every HELLO
+  int cache_rounds = 64;
+};
+
 // Detaches (but does not own) a log sink on scope exit, covering every
 // early-return path out of ObservedPretrain.
 struct LogSinkGuard {
@@ -308,7 +366,8 @@ Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
                                        const char* command, int total_epochs,
                                        std::vector<EpochReport>* reports,
                                        const CheckpointFlags* ckpt = nullptr,
-                                       int prefetch_depth = 2) {
+                                       int prefetch_depth = 2,
+                                       DistributedRun* dist = nullptr) {
   SetRunId(GenerateRunId());
   // Fail fast: every sink path is validated here, before training starts,
   // so a typo'd directory is a clean error instead of lost work at the
@@ -360,6 +419,21 @@ Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
                 GetRunId().c_str());
     std::fflush(stdout);
   }
+  // Rank 0 of a distributed run hosts the reduction coordinator; its
+  // per-worker rows feed this run's /status board.
+  std::unique_ptr<AllReduceCoordinator> coordinator;
+  if (dist != nullptr && dist->workers > 0 && dist->options.rank == 0) {
+    AllReduceCoordinatorOptions coord_options;
+    coord_options.schedule = dist->schedule;
+    coord_options.cache_rounds = dist->cache_rounds;
+    coord_options.status_board = &board;
+    coordinator = std::make_unique<AllReduceCoordinator>(coord_options);
+    SGCL_RETURN_NOT_OK(coordinator->Start(dist->options.coordinator_port));
+    dist->options.coordinator_port = coordinator->port();
+    // The smoke scripts and worker launchers parse this line.
+    std::printf("coordinator: 127.0.0.1:%d\n", coordinator->port());
+    std::fflush(stdout);
+  }
   board.BeginRun(command, total_epochs);
   SGCL_LOG(INFO) << command << " started: run " << GetRunId() << ", "
                  << source.size() << " graphs, " << total_epochs
@@ -388,7 +462,21 @@ Result<PretrainStats> ObservedPretrain(SgclTrainer* trainer,
                      << report.seconds << "s)";
     };
   }
-  Result<PretrainStats> stats = trainer->Pretrain(source, {}, options);
+  Result<PretrainStats> stats =
+      dist != nullptr && dist->workers > 0
+          ? trainer->PretrainDistributed(source, {}, options, dist->options)
+          : trainer->Pretrain(source, {}, options);
+  if (coordinator != nullptr) {
+    // Drain before teardown: tearing the coordinator down while other
+    // workers are still fetching their last rounds would fail them.
+    if (stats.ok() &&
+        !coordinator->WaitForGoodbyes(
+            dist->workers, dist->options.allreduce_timeout_ms)) {
+      SGCL_LOG(WARNING) << "coordinator: not all " << dist->workers
+                        << " workers said goodbye before the deadline";
+    }
+    coordinator->Stop();
+  }
   board.EndRun(stats.ok());
   SGCL_LOG(INFO) << command << " finished: run " << GetRunId()
                  << (stats.ok() ? " ok" : " failed");
@@ -479,6 +567,7 @@ int CmdPretrain(int argc, char** argv) {
   ModelFlags model_flags;
   ObservabilityFlags obs;
   CheckpointFlags ckpt;
+  DistributedFlags dist_flags;
   FlagSet flags("sgcl_cli pretrain");
   flags.String("data", &data, "dataset path");
   flags.String("data-dir", &data_dir,
@@ -492,8 +581,15 @@ int CmdPretrain(int argc, char** argv) {
   model_flags.Register(&flags);
   obs.Register(&flags);
   ckpt.Register(&flags);
+  dist_flags.Register(&flags);
   if (int rc = HandleParse(flags, flags.Parse(argc, argv, 2)); rc >= 0) {
     return rc;
+  }
+  if (Status st = dist_flags.Validate(); !st.ok()) return Fail(st);
+  // Workers checkpoint independently: give each rank its own subtree so
+  // FindLatestCheckpoint never picks up a sibling's file.
+  if (dist_flags.workers > 0 && !ckpt.dir.empty()) {
+    ckpt.dir += "/rank-" + std::to_string(dist_flags.rank);
   }
   // Resolve the training source: on-disk shard store or loaded dataset.
   std::unique_ptr<ShardedGraphStore> store;
@@ -515,8 +611,60 @@ int CmdPretrain(int argc, char** argv) {
   auto cfg = model_flags.ToConfig(*feat_dim);
   if (!cfg.ok()) return Fail(cfg.status());
   SgclTrainer trainer(*cfg, seed);
+  DistributedRun dist_run;
+  if (dist_flags.workers > 0) {
+    dist_run.workers = dist_flags.workers;
+    dist_run.options.rank = dist_flags.rank;
+    dist_run.options.world_size = dist_flags.workers;
+    dist_run.options.grad_accum = dist_flags.grad_accum;
+    dist_run.options.coordinator_port = dist_flags.coordinator_port;
+    dist_run.options.allreduce_timeout_ms = dist_flags.allreduce_timeout_ms;
+    dist_run.options.connect_deadline_ms = dist_flags.connect_deadline_ms;
+    // The coordinator's schedule, against which every worker HELLO is
+    // validated. run_seed must be the run's ORIGINAL seed: when rank 0
+    // is itself resuming, peek its checkpoint rather than trusting this
+    // invocation's --seed.
+    uint64_t run_seed = seed;
+    if (dist_flags.rank == 0 && ckpt.resume && !ckpt.dir.empty()) {
+      Result<std::string> latest = FindLatestCheckpoint(ckpt.dir);
+      if (latest.ok()) {
+        auto peeked = LoadTrainCheckpoint(*latest);
+        if (!peeked.ok()) return Fail(peeked.status());
+        if (peeked->train_seed != 0) run_seed = peeked->train_seed;
+      }
+    }
+    AllReduceSchedule& schedule = dist_run.schedule;
+    schedule.world_size = static_cast<uint32_t>(dist_flags.workers);
+    schedule.accum = static_cast<uint32_t>(dist_flags.grad_accum);
+    schedule.epochs = static_cast<uint32_t>(cfg->epochs);
+    schedule.grad_dim =
+        static_cast<uint64_t>(trainer.model().NumParameters());
+    schedule.batches_per_epoch = static_cast<uint64_t>(
+        PretrainBatchesPerEpoch(source->size(), cfg->batch_size));
+    schedule.config_fingerprint = ConfigFingerprint(*cfg);
+    schedule.source_fingerprint = source->ContentFingerprint();
+    schedule.run_seed = run_seed;
+    // The round cache must cover every round a killed worker could have
+    // to replay: since its latest checkpoint (the cadence, doubled for
+    // slack), or the whole run when checkpointing is off.
+    const uint64_t accum = schedule.accum;
+    uint64_t cadence_rounds;
+    if (ckpt.dir.empty()) {
+      cadence_rounds = schedule.total_rounds();
+    } else if (ckpt.every_batches > 0) {
+      cadence_rounds =
+          (static_cast<uint64_t>(ckpt.every_batches) + accum - 1) / accum;
+    } else {
+      cadence_rounds = schedule.rounds_per_epoch() *
+                       static_cast<uint64_t>(std::max(1, ckpt.every));
+    }
+    dist_run.cache_rounds = static_cast<int>(
+        std::min<uint64_t>(std::max<uint64_t>(64, 2 * cadence_rounds),
+                           1u << 20));
+  }
   auto stats = ObservedPretrain(&trainer, *source, obs, "pretrain",
-                                cfg->epochs, nullptr, &ckpt, prefetch_depth);
+                                cfg->epochs, nullptr, &ckpt, prefetch_depth,
+                                dist_flags.workers > 0 ? &dist_run : nullptr);
   if (!stats.ok()) return Fail(stats.status());
   std::printf("pretrained %d epochs: loss %.4f -> %.4f\n", cfg->epochs,
               stats->epoch_losses.front(), stats->epoch_losses.back());
